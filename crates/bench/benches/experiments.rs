@@ -1,0 +1,76 @@
+//! One Criterion group per paper experiment: `cargo bench -p rlnc-bench`
+//! regenerates every quantitative claim (at smoke scale) and reports how
+//! long each reproduction takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlnc_experiments::{run_by_id, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_experiment(c: &mut Criterion, id: &str, title: &str) {
+    let mut group = c.benchmark_group("paper-experiments");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function(format!("{id}-{title}"), |b| {
+        b.iter(|| {
+            let report = run_by_id(black_box(id), Scale::Smoke).expect("experiment id");
+            assert!(!report.table.rows.is_empty());
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+fn bench_e1_amos(c: &mut Criterion) {
+    bench_experiment(c, "e1", "amos-golden-decider");
+}
+
+fn bench_e2_slack(c: &mut Criterion) {
+    bench_experiment(c, "e2", "epsilon-slack-random-coloring");
+}
+
+fn bench_e3_cole_vishkin(c: &mut Criterion) {
+    bench_experiment(c, "e3", "cole-vishkin-log-star");
+}
+
+fn bench_e4_resilient(c: &mut Criterion) {
+    bench_experiment(c, "e4", "order-invariant-failure");
+}
+
+fn bench_e5_resilient_decider(c: &mut Criterion) {
+    bench_experiment(c, "e5", "f-resilient-decider");
+}
+
+fn bench_e6_boosting(c: &mut Criterion) {
+    bench_experiment(c, "e6", "disjoint-union-boosting");
+}
+
+fn bench_e7_gluing(c: &mut Criterion) {
+    bench_experiment(c, "e7", "theorem1-gluing");
+}
+
+fn bench_e8_ramsey(c: &mut Criterion) {
+    bench_experiment(c, "e8", "ramsey-order-invariant-lift");
+}
+
+fn bench_e9_slack_vs_det(c: &mut Criterion) {
+    bench_experiment(c, "e9", "slack-vs-deterministic");
+}
+
+fn bench_e10_equivalence(c: &mut Criterion) {
+    bench_experiment(c, "e10", "message-passing-equivalence");
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_amos,
+    bench_e2_slack,
+    bench_e3_cole_vishkin,
+    bench_e4_resilient,
+    bench_e5_resilient_decider,
+    bench_e6_boosting,
+    bench_e7_gluing,
+    bench_e8_ramsey,
+    bench_e9_slack_vs_det,
+    bench_e10_equivalence
+);
+criterion_main!(experiments);

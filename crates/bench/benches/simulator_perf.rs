@@ -1,0 +1,103 @@
+//! Engineering benchmarks of the LOCAL-model simulator: ball collection,
+//! whole-instance runs (parallel vs sequential), the message-passing
+//! engine, and Monte-Carlo trial throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlnc_bench::cycle_instance;
+use rlnc_core::prelude::*;
+use rlnc_core::rounds::run_via_message_passing;
+use rlnc_graph::ball::Ball;
+use rlnc_langs::coloring::RankColoring;
+use rlnc_langs::random_coloring::RandomColoring;
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::trials::MonteCarlo;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ball_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ball-extraction");
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000] {
+        let (graph, _, _) = cycle_instance(n);
+        for &radius in &[1u32, 4, 16] {
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("cycle-{n}"), radius),
+                &radius,
+                |b, &radius| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for v in graph.nodes() {
+                            total += Ball::extract(&graph, v, radius).len();
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulator_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator-rank-coloring");
+    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    for &n in &[1_000usize, 10_000] {
+        let (graph, input, ids) = cycle_instance(n);
+        let instance = Instance::new(&graph, &input, &ids);
+        let algo = RankColoring::new(2, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("parallel", n), |b| {
+            b.iter(|| black_box(Simulator::new().run(&algo, &instance)))
+        });
+        group.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| black_box(Simulator::sequential().run(&algo, &instance)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_passing_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message-passing-vs-ball-view");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let (graph, input, ids) = cycle_instance(2_000);
+    let instance = Instance::new(&graph, &input, &ids);
+    let algo = RankColoring::new(2, 3);
+    group.bench_function("ball-view", |b| {
+        b.iter(|| black_box(Simulator::new().run(&algo, &instance)))
+    });
+    group.bench_function("message-passing-gather", |b| {
+        b.iter(|| black_box(run_via_message_passing(&algo, &instance)))
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte-carlo-trials");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let (graph, input, ids) = cycle_instance(256);
+    let instance = Instance::new(&graph, &input, &ids);
+    let algo = RandomColoring::new(3);
+    for &trials in &[200u64, 1_000] {
+        group.throughput(Throughput::Elements(trials));
+        group.bench_function(BenchmarkId::new("random-coloring-runs", trials), |b| {
+            b.iter(|| {
+                let est = MonteCarlo::new(trials).estimate(|seed: SeedSequence| {
+                    let out = Simulator::sequential().run_randomized(&algo, &instance, seed);
+                    out.get(rlnc_graph::NodeId(0)).as_u64() == 1
+                });
+                black_box(est)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    simulator_perf,
+    bench_ball_extraction,
+    bench_simulator_parallel_vs_sequential,
+    bench_message_passing_engine,
+    bench_monte_carlo_throughput
+);
+criterion_main!(simulator_perf);

@@ -1,0 +1,40 @@
+//! # rlnc-bench — Criterion benchmark harness
+//!
+//! Two benchmark binaries:
+//!
+//! * `experiments` — one Criterion group per paper experiment (E1–E10),
+//!   each running the corresponding `rlnc-experiments` module at smoke
+//!   scale so a full `cargo bench` regenerates every quantitative claim of
+//!   the paper end to end and tracks its cost over time.
+//! * `simulator_perf` — engineering benchmarks of the LOCAL simulator
+//!   itself: ball collection, deterministic and randomized whole-instance
+//!   runs, the message-passing engine, and Monte-Carlo throughput.
+//!
+//! The library portion only hosts small helpers shared by the two
+//! binaries.
+
+#![forbid(unsafe_code)]
+
+use rlnc_core::prelude::*;
+use rlnc_graph::{Graph, IdAssignment};
+
+/// A ready-to-simulate consecutive-identity cycle instance of size `n`.
+pub fn cycle_instance(n: usize) -> (Graph, Labeling, IdAssignment) {
+    let graph = rlnc_graph::generators::cycle(n);
+    let input = Labeling::empty(n);
+    let ids = IdAssignment::consecutive(&graph);
+    (graph, input, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_instance_helper_builds_consistent_pieces() {
+        let (graph, input, ids) = cycle_instance(12);
+        assert_eq!(graph.node_count(), 12);
+        assert_eq!(input.len(), 12);
+        assert_eq!(ids.len(), 12);
+    }
+}

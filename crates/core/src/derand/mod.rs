@@ -1,0 +1,27 @@
+//! The derandomization machinery of Theorem 1 and Appendix A.
+//!
+//! The proof of Theorem 1 has four moving parts, each with its own module:
+//!
+//! * [`hard_instances`] — Claim 2: for every (order-invariant) algorithm
+//!   that is not correct, find instances on which it fails, with
+//!   constraints on the diameter and on the minimum identity so the
+//!   instances can later be combined.
+//! * [`boosting`] — Claim 3: running the construction algorithm on the
+//!   disjoint union of `ν` hard instances drives the probability that the
+//!   decider accepts below any threshold, with `ν` given by Eq. (3).
+//! * [`gluing`] — Claims 4–5 and the final construction: anchor sets of
+//!   `µ = ⌈1/(2p−1)⌉` far-apart nodes, the "accepts far from `u`" events,
+//!   and the connected gluing with its `ν′` bound.
+//! * [`ramsey`] — Appendix A / Claim 1: turning an arbitrary algorithm into
+//!   an order-invariant one by restricting identities to a Ramsey-style
+//!   consistent ID set.
+
+pub mod boosting;
+pub mod gluing;
+pub mod hard_instances;
+pub mod ramsey;
+
+pub use boosting::{boosting_repetitions, disjoint_union_acceptance};
+pub use gluing::{anchor_count, gluing_repetitions, separation_distance, GluingExperiment};
+pub use hard_instances::{HardInstance, HardInstanceSearch};
+pub use ramsey::{consistent_id_set, OrderInvariantLift};

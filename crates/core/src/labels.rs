@@ -1,0 +1,285 @@
+//! Labels (input/output strings) and the bounded promise `F_k`.
+//!
+//! In the paper every node holds an input string `x(v) ∈ {0,1}*` and
+//! produces an output string `y(v) ∈ {0,1}*`. The derandomization theorem
+//! is stated under the promise `F_k`: the graph has maximum degree at most
+//! `k` and all input and output strings have length at most `k`.
+//!
+//! Labels are stored as short byte strings. The promise bounds the label
+//! *byte* length; since every language in this workspace uses an alphabet of
+//! constant size (colors `≤ Δ+1`, booleans, small counters), this keeps the
+//! promise semantics of the paper — a finite label alphabet per `k` — while
+//! avoiding bit-level bookkeeping.
+
+use rlnc_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bounded label: the input or output string of a single node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(Vec<u8>);
+
+impl Label {
+    /// The empty label (used for "no input").
+    pub fn empty() -> Self {
+        Label(Vec::new())
+    }
+
+    /// A label holding raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Label(bytes.into())
+    }
+
+    /// A label encoding a small non-negative integer (colors, marks,
+    /// counters) using the minimal number of big-endian bytes.
+    pub fn from_u64(value: u64) -> Self {
+        if value == 0 {
+            return Label(vec![0]);
+        }
+        let bytes = value.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap();
+        Label(bytes[first..].to_vec())
+    }
+
+    /// A boolean label (`1` or `0`), used for selected/marked predicates.
+    pub fn from_bool(value: bool) -> Self {
+        Label(vec![u8::from(value)])
+    }
+
+    /// Decodes the label as a big-endian integer (empty label decodes to 0).
+    ///
+    /// # Panics
+    /// Panics if the label is longer than 8 bytes.
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.0.len() <= 8, "label too long to decode as u64");
+        let mut out = 0u64;
+        for &b in &self.0 {
+            out = (out << 8) | u64::from(b);
+        }
+        out
+    }
+
+    /// Decodes the label as a boolean (any non-zero content is `true`).
+    pub fn as_bool(&self) -> bool {
+        self.0.iter().any(|&b| b != 0)
+    }
+
+    /// Raw bytes of the label.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the label in bytes (the quantity bounded by `F_k`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty label.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() <= 8 {
+            write!(f, "{}", self.as_u64())
+        } else {
+            write!(f, "0x{}", self.0.iter().map(|b| format!("{b:02x}")).collect::<String>())
+        }
+    }
+}
+
+impl From<u64> for Label {
+    fn from(value: u64) -> Self {
+        Label::from_u64(value)
+    }
+}
+
+impl From<bool> for Label {
+    fn from(value: bool) -> Self {
+        Label::from_bool(value)
+    }
+}
+
+/// A per-node labeling: the function `x : V → {0,1}*` (or `y`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labeling {
+    labels: Vec<Label>,
+}
+
+impl Labeling {
+    /// All-empty labeling on `n` nodes (the "no input" configuration used
+    /// by input-less tasks such as coloring).
+    pub fn empty(n: usize) -> Self {
+        Labeling {
+            labels: vec![Label::empty(); n],
+        }
+    }
+
+    /// Builds a labeling from an explicit per-node vector.
+    pub fn new(labels: Vec<Label>) -> Self {
+        Labeling { labels }
+    }
+
+    /// Builds a labeling by evaluating `f` at every node of `graph`.
+    pub fn from_fn(graph: &Graph, f: impl Fn(NodeId) -> Label) -> Self {
+        Labeling {
+            labels: graph.nodes().map(f).collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the labeling covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> &Label {
+        &self.labels[v.index()]
+    }
+
+    /// Sets the label of node `v`.
+    pub fn set(&mut self, v: NodeId, label: Label) {
+        self.labels[v.index()] = label;
+    }
+
+    /// Iterates over `(node, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Label)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (NodeId::from_index(i), l))
+    }
+
+    /// Maximum label length in bytes (0 for an empty labeling).
+    pub fn max_len(&self) -> usize {
+        self.labels.iter().map(Label::len).max().unwrap_or(0)
+    }
+
+    /// Underlying vector of labels, indexed by node.
+    pub fn as_slice(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Concatenates two labelings (for disjoint unions of instances).
+    pub fn concatenate(&self, other: &Labeling) -> Labeling {
+        let mut labels = self.labels.clone();
+        labels.extend(other.labels.iter().cloned());
+        Labeling { labels }
+    }
+}
+
+/// The promise `F_k`: degree at most `k`, input and output labels of length
+/// at most `k` (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FkPromise {
+    /// The bound `k`.
+    pub k: usize,
+}
+
+impl FkPromise {
+    /// Creates the promise with bound `k`. Theorem 1 requires `k > 2`.
+    pub fn new(k: usize) -> Self {
+        FkPromise { k }
+    }
+
+    /// Checks whether a graph satisfies the degree part of the promise.
+    pub fn check_graph(&self, graph: &Graph) -> bool {
+        graph.max_degree() <= self.k
+    }
+
+    /// Checks whether a labeling satisfies the label-length part.
+    pub fn check_labeling(&self, labeling: &Labeling) -> bool {
+        labeling.max_len() <= self.k
+    }
+
+    /// Checks the full promise on an input-output configuration.
+    pub fn check(&self, graph: &Graph, input: &Labeling, output: &Labeling) -> bool {
+        self.check_graph(graph) && self.check_labeling(input) && self.check_labeling(output)
+    }
+
+    /// Returns `true` if the bound allows the Theorem-1 gluing (`k > 2`).
+    pub fn allows_gluing(&self) -> bool {
+        self.k > 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnc_graph::generators::{cycle, star};
+
+    #[test]
+    fn label_round_trips_u64() {
+        for v in [0u64, 1, 2, 7, 255, 256, 65_535, 1 << 40] {
+            assert_eq!(Label::from_u64(v).as_u64(), v);
+        }
+        assert_eq!(Label::from_u64(0).len(), 1);
+        assert_eq!(Label::from_u64(255).len(), 1);
+        assert_eq!(Label::from_u64(256).len(), 2);
+    }
+
+    #[test]
+    fn label_bool_and_bytes() {
+        assert!(Label::from_bool(true).as_bool());
+        assert!(!Label::from_bool(false).as_bool());
+        assert!(!Label::empty().as_bool());
+        assert_eq!(Label::from_bytes(vec![1, 2]).as_u64(), 258);
+        assert_eq!(Label::from(5u64).as_u64(), 5);
+        assert_eq!(Label::from(true), Label::from_bool(true));
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(format!("{}", Label::from_u64(42)), "42");
+        assert_eq!(format!("{}", Label::empty()), "0");
+    }
+
+    #[test]
+    fn labeling_get_set_iter() {
+        let g = cycle(5);
+        let mut l = Labeling::empty(5);
+        assert_eq!(l.len(), 5);
+        l.set(NodeId(2), Label::from_u64(9));
+        assert_eq!(l.get(NodeId(2)).as_u64(), 9);
+        assert_eq!(l.get(NodeId(0)), &Label::empty());
+        let from_fn = Labeling::from_fn(&g, |v| Label::from_u64(v.0 as u64));
+        assert_eq!(from_fn.get(NodeId(3)).as_u64(), 3);
+        let pairs: Vec<_> = from_fn.iter().collect();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(from_fn.max_len(), 1);
+    }
+
+    #[test]
+    fn labeling_concatenate() {
+        let a = Labeling::new(vec![Label::from_u64(1), Label::from_u64(2)]);
+        let b = Labeling::new(vec![Label::from_u64(3)]);
+        let c = a.concatenate(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(NodeId(2)).as_u64(), 3);
+    }
+
+    #[test]
+    fn fk_promise_checks() {
+        let g = cycle(6);
+        let promise = FkPromise::new(3);
+        assert!(promise.check_graph(&g));
+        assert!(promise.allows_gluing());
+        assert!(!FkPromise::new(2).allows_gluing());
+        let hub = star(10);
+        assert!(!promise.check_graph(&hub));
+        let short = Labeling::from_fn(&g, |_| Label::from_u64(3));
+        let long = Labeling::from_fn(&g, |_| Label::from_bytes(vec![0; 8]));
+        assert!(promise.check_labeling(&short));
+        assert!(!promise.check_labeling(&long));
+        assert!(promise.check(&g, &short, &short));
+        assert!(!promise.check(&g, &short, &long));
+    }
+}

@@ -1,0 +1,355 @@
+//! Explicit synchronous message-passing execution of LOCAL algorithms.
+//!
+//! §2.1.1 of the paper describes the LOCAL model operationally: in each
+//! round every node (1) sends messages to its neighbors, (2) receives its
+//! neighbors' messages, and (3) computes. It then observes that a `t`-round
+//! algorithm is equivalent to the "collect the radius-`t` ball and decide"
+//! formulation used everywhere else in the paper (and in
+//! [`crate::simulator`]). This module implements the operational model and
+//! the generic full-information gather, so the equivalence is *tested*
+//! rather than assumed (experiment E10).
+
+use crate::algorithm::LocalAlgorithm;
+use crate::config::Instance;
+use crate::labels::{Label, Labeling};
+use crate::view::View;
+use rayon::prelude::*;
+use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
+
+/// Per-node initialization data: what a node knows before round 1.
+#[derive(Debug, Clone)]
+pub struct NodeInit {
+    /// The node's identity.
+    pub id: u64,
+    /// The node's degree (number of ports).
+    pub degree: usize,
+    /// The node's input label.
+    pub input: Label,
+}
+
+/// A synchronous message-passing algorithm in the LOCAL model.
+///
+/// Messages are unbounded (`Message` can be arbitrarily large), matching
+/// the model's lack of bandwidth constraints.
+pub trait MessagePassingAlgorithm: Sync {
+    /// Local state carried by each node between rounds.
+    type State: Clone + Send + Sync;
+    /// Message type exchanged on edges.
+    type Message: Clone + Send + Sync;
+
+    /// Number of rounds the algorithm runs.
+    fn rounds(&self) -> u32;
+
+    /// Initial state of a node.
+    fn init(&self, node: &NodeInit) -> Self::State;
+
+    /// Messages to send in round `round` (1-based), one per port, in the
+    /// order of the node's neighbor list.
+    fn send(&self, state: &Self::State, round: u32) -> Vec<Self::Message>;
+
+    /// State update after receiving the round's messages (`incoming[i]` is
+    /// the message that arrived on port `i`).
+    fn receive(&self, state: Self::State, round: u32, incoming: &[Self::Message]) -> Self::State;
+
+    /// Output label after the final round.
+    fn output(&self, state: &Self::State) -> Label;
+}
+
+/// The synchronous round engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundEngine;
+
+impl RoundEngine {
+    /// Creates a round engine.
+    pub fn new() -> Self {
+        RoundEngine
+    }
+
+    /// Runs a message-passing algorithm on an instance and returns the
+    /// output labeling.
+    pub fn run<M: MessagePassingAlgorithm>(&self, algo: &M, instance: &Instance<'_>) -> Labeling {
+        let graph = instance.graph;
+        let n = graph.node_count();
+        // Port map: for edge (v, w), the index of v in w's neighbor list, so
+        // delivery is O(1) per message.
+        let reverse_port: Vec<Vec<usize>> = (0..n)
+            .map(|vi| {
+                let v = NodeId::from_index(vi);
+                graph
+                    .neighbor_ids(v)
+                    .map(|w| {
+                        graph
+                            .neighbors(w)
+                            .iter()
+                            .position(|&x| x == v.0)
+                            .expect("adjacency must be symmetric")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut states: Vec<M::State> = (0..n)
+            .map(|vi| {
+                let v = NodeId::from_index(vi);
+                algo.init(&NodeInit {
+                    id: instance.ids.id(v),
+                    degree: graph.degree(v),
+                    input: instance.input.get(v).clone(),
+                })
+            })
+            .collect();
+
+        for round in 1..=algo.rounds() {
+            // Phase 1: every node prepares its outgoing messages.
+            let outgoing: Vec<Vec<M::Message>> = states
+                .par_iter()
+                .map(|state| algo.send(state, round))
+                .collect();
+            // Phase 2 + 3: deliver and update.
+            states = (0..n)
+                .into_par_iter()
+                .map(|vi| {
+                    let v = NodeId::from_index(vi);
+                    let incoming: Vec<M::Message> = graph
+                        .neighbor_ids(v)
+                        .enumerate()
+                        .map(|(port, w)| outgoing[w.index()][reverse_port[vi][port]].clone())
+                        .collect();
+                    algo.receive(states[vi].clone(), round, &incoming)
+                })
+                .collect();
+        }
+
+        Labeling::new(states.iter().map(|s| algo.output(s)).collect())
+    }
+}
+
+/// What the full-information gather knows about one remote node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnownNode {
+    /// Identity of the node.
+    pub id: u64,
+    /// Input label of the node.
+    pub input: Label,
+    /// Degree of the node.
+    pub degree: usize,
+}
+
+/// State of the full-information gather: everything learned so far.
+#[derive(Debug, Clone)]
+pub struct GatherState {
+    own_id: u64,
+    nodes: Vec<KnownNode>,
+    /// Edges between known nodes, as (smaller id, larger id) pairs.
+    edges: Vec<(u64, u64)>,
+}
+
+impl GatherState {
+    fn merge(&mut self, other: &GatherState) {
+        for node in &other.nodes {
+            if !self.nodes.iter().any(|n| n.id == node.id) {
+                self.nodes.push(node.clone());
+            }
+        }
+        for edge in &other.edges {
+            if !self.edges.contains(edge) {
+                self.edges.push(*edge);
+            }
+        }
+    }
+}
+
+/// The generic `t`-round full-information gather that simulates any
+/// deterministic `t`-round LOCAL algorithm: it floods identities, inputs,
+/// and incident edges for `t` rounds, reconstructs the radius-`t` ball, and
+/// applies the wrapped algorithm's output function — the simulation
+/// argument of §2.1.1.
+pub struct GatherAndRun<'a, A: ?Sized> {
+    inner: &'a A,
+}
+
+impl<'a, A: LocalAlgorithm + ?Sized> GatherAndRun<'a, A> {
+    /// Wraps a ball-view algorithm into its message-passing simulation.
+    pub fn new(inner: &'a A) -> Self {
+        GatherAndRun { inner }
+    }
+}
+
+impl<'a, A: LocalAlgorithm + ?Sized> MessagePassingAlgorithm for GatherAndRun<'a, A> {
+    type State = GatherState;
+    type Message = GatherState;
+
+    fn rounds(&self) -> u32 {
+        self.inner.radius()
+    }
+
+    fn init(&self, node: &NodeInit) -> GatherState {
+        GatherState {
+            own_id: node.id,
+            nodes: vec![KnownNode {
+                id: node.id,
+                input: node.input.clone(),
+                degree: node.degree,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    fn send(&self, state: &GatherState, _round: u32) -> Vec<GatherState> {
+        // Unbounded messages: send the whole state on every port.
+        let degree = state
+            .nodes
+            .iter()
+            .find(|n| n.id == state.own_id)
+            .map(|n| n.degree)
+            .unwrap_or(0);
+        vec![state.clone(); degree]
+    }
+
+    fn receive(&self, mut state: GatherState, _round: u32, incoming: &[GatherState]) -> GatherState {
+        for msg in incoming {
+            // Learn the edge to the sender, and everything the sender knows.
+            let a = state.own_id.min(msg.own_id);
+            let b = state.own_id.max(msg.own_id);
+            if !state.edges.contains(&(a, b)) {
+                state.edges.push((a, b));
+            }
+            state.merge(msg);
+        }
+        state
+    }
+
+    fn output(&self, state: &GatherState) -> Label {
+        // Rebuild the learned subgraph and extract the radius-t view of the
+        // center inside it; this reproduces B_G(v, t) exactly because after
+        // t rounds the learned subgraph contains every node at distance ≤ t
+        // and every edge with an endpoint at distance ≤ t − 1.
+        let mut nodes = state.nodes.clone();
+        nodes.sort_by_key(|n| n.id);
+        let index_of = |id: u64| nodes.iter().position(|n| n.id == id).unwrap();
+        let mut builder = GraphBuilder::new(nodes.len());
+        for &(a, b) in &state.edges {
+            builder.add_edge(index_of(a), index_of(b));
+        }
+        let graph: Graph = builder.build();
+        let ids = IdAssignment::new(nodes.iter().map(|n| n.id).collect());
+        let inputs = Labeling::new(nodes.iter().map(|n| n.input.clone()).collect());
+        let instance = Instance::new(&graph, &inputs, &ids);
+        let center = NodeId::from_index(index_of(state.own_id));
+        let view = View::collect(&instance, center, self.inner.radius());
+        self.inner.output(&view)
+    }
+}
+
+/// Runs a deterministic ball-view algorithm through the message-passing
+/// engine (the operational semantics) instead of the direct simulator.
+pub fn run_via_message_passing<A: LocalAlgorithm + ?Sized>(
+    algo: &A,
+    instance: &Instance<'_>,
+) -> Labeling {
+    RoundEngine::new().run(&GatherAndRun::new(algo), instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::FnAlgorithm;
+    use crate::simulator::Simulator;
+    use rlnc_graph::generators::{binary_tree, cycle, grid};
+
+    /// A hand-written message-passing algorithm: compute the minimum
+    /// identity within distance `t` by flooding.
+    struct MinIdFlood {
+        rounds: u32,
+    }
+
+    impl MessagePassingAlgorithm for MinIdFlood {
+        type State = u64;
+        type Message = u64;
+
+        fn rounds(&self) -> u32 {
+            self.rounds
+        }
+
+        fn init(&self, node: &NodeInit) -> u64 {
+            node.id
+        }
+
+        fn send(&self, state: &u64, _round: u32) -> Vec<u64> {
+            // The engine only reads as many messages as the node has ports;
+            // over-provisioning is harmless but we cannot know the degree
+            // from the state alone here, so send a generous number.
+            vec![*state; 16]
+        }
+
+        fn receive(&self, state: u64, _round: u32, incoming: &[u64]) -> u64 {
+            incoming.iter().copied().fold(state, u64::min)
+        }
+
+        fn output(&self, state: &u64) -> Label {
+            Label::from_u64(*state)
+        }
+    }
+
+    #[test]
+    fn min_id_flood_matches_ball_minimum() {
+        let g = cycle(16);
+        let x = Labeling::empty(16);
+        let ids = IdAssignment::spread(&g, 13);
+        let inst = Instance::new(&g, &x, &ids);
+        let t = 3;
+        let out = RoundEngine::new().run(&MinIdFlood { rounds: t }, &inst);
+        // Reference: minimum id within distance t via the ball view.
+        let reference = Simulator::new().run(
+            &FnAlgorithm::new(t, "min-id", |view: &View| {
+                Label::from_u64((0..view.len()).map(|i| view.id(i)).min().unwrap())
+            }),
+            &inst,
+        );
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn gather_and_run_equals_direct_simulation_on_cycles() {
+        let g = cycle(20);
+        let x = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 4)));
+        let ids = IdAssignment::spread(&g, 3);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(2, "ball-fingerprint", |view: &View| {
+            let ids_sum: u64 = (0..view.len()).map(|i| view.id(i)).sum();
+            let inputs_sum: u64 = (0..view.len()).map(|i| view.input(i).as_u64()).sum();
+            let edges = view.local_graph().edge_count() as u64;
+            Label::from_u64(ids_sum * 1000 + inputs_sum * 10 + edges)
+        });
+        let direct = Simulator::new().run(&algo, &inst);
+        let via_messages = run_via_message_passing(&algo, &inst);
+        assert_eq!(direct, via_messages);
+    }
+
+    #[test]
+    fn gather_and_run_equals_direct_simulation_on_other_families() {
+        for graph in [grid(4, 5), binary_tree(15)] {
+            let x = Labeling::empty(graph.node_count());
+            let ids = IdAssignment::consecutive(&graph);
+            let inst = Instance::new(&graph, &x, &ids);
+            let algo = FnAlgorithm::new(1, "degree-and-rank", |view: &View| {
+                Label::from_u64((view.center_degree() as u64) * 10 + view.center_rank() as u64)
+            });
+            let direct = Simulator::new().run(&algo, &inst);
+            let via_messages = run_via_message_passing(&algo, &inst);
+            assert_eq!(direct, via_messages);
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithms_need_no_messages() {
+        let g = cycle(8);
+        let x = Labeling::empty(8);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(0, "own-id", |view: &View| Label::from_u64(view.center_id()));
+        let direct = Simulator::new().run(&algo, &inst);
+        let via_messages = run_via_message_passing(&algo, &inst);
+        assert_eq!(direct, via_messages);
+    }
+}

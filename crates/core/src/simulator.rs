@@ -1,0 +1,190 @@
+//! The LOCAL-model simulator: runs construction algorithms on instances.
+//!
+//! The simulator uses the ball-view formulation of §2.1: for every node it
+//! collects the radius-`t` view and evaluates the algorithm's output
+//! function. Per-node work is independent, so it is parallelized with
+//! Rayon; determinism is preserved because each node's coins are derived
+//! from the (execution seed, node) pair, not from scheduling order.
+
+use crate::algorithm::{Coins, LocalAlgorithm, RandomizedLocalAlgorithm};
+use crate::config::{Instance, IoConfig};
+use crate::labels::Labeling;
+use crate::language::DistributedLanguage;
+use crate::view::View;
+use rayon::prelude::*;
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::stats::Estimate;
+use rlnc_par::trials::MonteCarlo;
+use rlnc_graph::NodeId;
+
+/// Runs LOCAL algorithms over whole instances.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    parallel: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+impl Simulator {
+    /// A parallel simulator (the default).
+    pub fn new() -> Self {
+        Simulator { parallel: true }
+    }
+
+    /// Forces sequential per-node evaluation. Useful when the simulator is
+    /// already called from inside a parallel Monte-Carlo loop, to avoid
+    /// nested-parallelism overhead on small graphs.
+    pub fn sequential() -> Self {
+        Simulator { parallel: false }
+    }
+
+    /// Runs a deterministic algorithm, returning the output labeling.
+    pub fn run<A: LocalAlgorithm + ?Sized>(&self, algo: &A, instance: &Instance<'_>) -> Labeling {
+        let t = algo.radius();
+        let outputs = self.map_nodes(instance, |v| {
+            let view = View::collect(instance, v, t);
+            algo.output(&view)
+        });
+        Labeling::new(outputs)
+    }
+
+    /// Runs a randomized algorithm with the coins of one execution,
+    /// returning the output labeling.
+    pub fn run_randomized<A: RandomizedLocalAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        instance: &Instance<'_>,
+        execution_seed: SeedSequence,
+    ) -> Labeling {
+        let t = algo.radius();
+        let coins = Coins::new(execution_seed);
+        let outputs = self.map_nodes(instance, |v| {
+            let view = View::collect(instance, v, t);
+            algo.output(&view, &coins)
+        });
+        Labeling::new(outputs)
+    }
+
+    /// Estimates the success probability of a randomized Monte-Carlo
+    /// construction algorithm on a fixed instance for a language `L`:
+    /// `Pr[(G, (x, C(G,x,id))) ∈ L]` over the algorithm's coins.
+    pub fn construction_success<A, L>(
+        &self,
+        algo: &A,
+        instance: &Instance<'_>,
+        language: &L,
+        trials: u64,
+        seed: u64,
+    ) -> Estimate
+    where
+        A: RandomizedLocalAlgorithm + ?Sized,
+        L: DistributedLanguage + ?Sized,
+    {
+        let inner = Simulator::sequential();
+        MonteCarlo::new(trials).with_seed(seed).estimate(|trial_seed| {
+            let output = inner.run_randomized(algo, instance, trial_seed);
+            let io = IoConfig::from_instance(instance, &output);
+            language.contains(&io)
+        })
+    }
+
+    fn map_nodes<T, F>(&self, instance: &Instance<'_>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(NodeId) -> T + Sync,
+    {
+        let n = instance.graph.node_count();
+        if self.parallel && n >= 64 {
+            (0..n)
+                .into_par_iter()
+                .map(|i| f(NodeId::from_index(i)))
+                .collect()
+        } else {
+            (0..n).map(|i| f(NodeId::from_index(i))).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{FnAlgorithm, FnRandomizedAlgorithm};
+    use crate::labels::Label;
+    use crate::language::FnLanguage;
+    use rand::Rng;
+    use rlnc_graph::generators::cycle;
+    use rlnc_graph::IdAssignment;
+
+    #[test]
+    fn deterministic_run_applies_output_function_everywhere() {
+        let g = cycle(128);
+        let x = Labeling::empty(128);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(0, "own-id", |v: &View| Label::from_u64(v.center_id()));
+        let out = Simulator::new().run(&algo, &inst);
+        for v in g.nodes() {
+            assert_eq!(out.get(v).as_u64(), ids.id(v));
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_simulation_agree() {
+        let g = cycle(200);
+        let x = Labeling::empty(200);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(1, "sum-of-ids", |v: &View| {
+            let total: u64 = (0..v.len()).map(|i| v.id(i)).sum();
+            Label::from_u64(total)
+        });
+        let a = Simulator::new().run(&algo, &inst);
+        let b = Simulator::sequential().run(&algo, &inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randomized_run_is_reproducible_per_seed() {
+        let g = cycle(64);
+        let x = Labeling::empty(64);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnRandomizedAlgorithm::new(0, "random-bit", |v: &View, c: &Coins| {
+            Label::from_bool(c.for_center(v).random_bool(0.5))
+        });
+        let s = SeedSequence::new(4).child(9);
+        let out1 = Simulator::new().run_randomized(&algo, &inst, s);
+        let out2 = Simulator::sequential().run_randomized(&algo, &inst, s);
+        assert_eq!(out1, out2);
+        let out3 = Simulator::new().run_randomized(&algo, &inst, SeedSequence::new(4).child(10));
+        assert_ne!(out1, out3);
+    }
+
+    #[test]
+    fn construction_success_estimates_probability() {
+        // Language: every node outputs 1. Constructor: each node outputs 1
+        // with probability 0.9 independently; success probability 0.9^n.
+        let g = cycle(4);
+        let x = Labeling::empty(4);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnRandomizedAlgorithm::new(0, "mostly-one", |v: &View, c: &Coins| {
+            Label::from_bool(c.for_center(v).random_bool(0.9))
+        });
+        let lang = FnLanguage::new("all-ones", |io: &IoConfig<'_>| {
+            io.graph.nodes().all(|v| io.output.get(v).as_bool())
+        });
+        let est = Simulator::new().construction_success(&algo, &inst, &lang, 4000, 99);
+        let expected = 0.9f64.powi(4);
+        assert!(
+            (est.p_hat - expected).abs() < 0.03,
+            "estimate {} too far from {}",
+            est.p_hat,
+            expected
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The radius-`t` view of a node: everything a `t`-round LOCAL algorithm
+//! may depend on.
+//!
+//! Per §2.1 of the paper, a `t`-round algorithm at node `v` can be viewed
+//! as a function of the ball `B_G(v, t)` together with the inputs and
+//! identities of the nodes in that ball (and, for decision algorithms, the
+//! outputs as well). [`View`] materializes exactly that object. The center
+//! is always local index `0`.
+
+use crate::config::{Instance, IoConfig};
+use crate::labels::Label;
+use rlnc_graph::ball::{Ball, BallSignature};
+use rlnc_graph::{Graph, IdAssignment, NodeId};
+
+/// The information visible to one node after `t` rounds of communication.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The ball `B_G(v, t)` (local indices; center is local index 0).
+    pub ball: Ball,
+    /// The center node, as a host-graph index.
+    pub center: NodeId,
+    /// Radius of the view.
+    pub radius: u32,
+    ids: Vec<u64>,
+    inputs: Vec<Label>,
+    outputs: Option<Vec<Label>>,
+    /// Degree of the center in the host graph (known even at radius 0: a
+    /// node always knows its own port count in the LOCAL model).
+    host_degree: usize,
+}
+
+impl View {
+    /// Collects the view of node `v` in a construction instance
+    /// (graph + inputs + identities; no outputs yet).
+    pub fn collect(instance: &Instance<'_>, v: NodeId, radius: u32) -> View {
+        let ball = Ball::extract(instance.graph, v, radius);
+        let ids = ball.members.iter().map(|&w| instance.ids.id(w)).collect();
+        let inputs = ball
+            .members
+            .iter()
+            .map(|&w| instance.input.get(w).clone())
+            .collect();
+        View {
+            ball,
+            center: v,
+            radius,
+            ids,
+            inputs,
+            outputs: None,
+            host_degree: instance.graph.degree(v),
+        }
+    }
+
+    /// Collects the view of node `v` in an input-output configuration with
+    /// identities (what a decision algorithm sees).
+    pub fn collect_io(io: &IoConfig<'_>, ids: &IdAssignment, v: NodeId, radius: u32) -> View {
+        let ball = Ball::extract(io.graph, v, radius);
+        let id_vec = ball.members.iter().map(|&w| ids.id(w)).collect();
+        let inputs = ball.members.iter().map(|&w| io.input.get(w).clone()).collect();
+        let outputs = ball
+            .members
+            .iter()
+            .map(|&w| io.output.get(w).clone())
+            .collect();
+        View {
+            ball,
+            center: v,
+            radius,
+            ids: id_vec,
+            inputs,
+            outputs: Some(outputs),
+            host_degree: io.graph.degree(v),
+        }
+    }
+
+    /// Number of nodes visible in the view.
+    pub fn len(&self) -> usize {
+        self.ball.len()
+    }
+
+    /// Returns `true` if the view is empty (never happens for valid views).
+    pub fn is_empty(&self) -> bool {
+        self.ball.is_empty()
+    }
+
+    /// The ball's own graph (local indices).
+    pub fn local_graph(&self) -> &Graph {
+        &self.ball.graph
+    }
+
+    /// Local index of the center (always 0).
+    pub fn center_local(&self) -> usize {
+        0
+    }
+
+    /// Host-graph node behind local index `i`.
+    pub fn host_node(&self, i: usize) -> NodeId {
+        self.ball.host_node(i)
+    }
+
+    /// Identity of local node `i`.
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Identity of the center.
+    pub fn center_id(&self) -> u64 {
+        self.ids[0]
+    }
+
+    /// Input label of local node `i`.
+    pub fn input(&self, i: usize) -> &Label {
+        &self.inputs[i]
+    }
+
+    /// Output label of local node `i`.
+    ///
+    /// # Panics
+    /// Panics if the view was collected without outputs (a construction
+    /// view rather than a decision view).
+    pub fn output(&self, i: usize) -> &Label {
+        &self.outputs.as_ref().expect("view has no outputs")[i]
+    }
+
+    /// Returns `true` if the view carries output labels.
+    pub fn has_outputs(&self) -> bool {
+        self.outputs.is_some()
+    }
+
+    /// Distance of local node `i` from the center.
+    pub fn distance(&self, i: usize) -> u32 {
+        self.ball.distance(i)
+    }
+
+    /// Degree of the center *in the host graph*. For radius ≥ 1 this equals
+    /// the center's degree inside the ball; for radius 0 it is the port
+    /// count the LOCAL model still exposes to the node.
+    pub fn center_degree(&self) -> usize {
+        self.host_degree
+    }
+
+    /// Local indices of the center's neighbors inside the view (empty for
+    /// radius-0 views).
+    pub fn center_neighbors(&self) -> Vec<usize> {
+        self.local_graph()
+            .neighbor_ids(NodeId(0))
+            .map(|w| w.index())
+            .collect()
+    }
+
+    /// Rank (0-based) of the center's identity among all identities in the
+    /// view — the only identity information an order-invariant algorithm
+    /// may use about the center.
+    pub fn center_rank(&self) -> usize {
+        let my = self.ids[0];
+        self.ids.iter().filter(|&&x| x < my).count()
+    }
+
+    /// Rank of local node `i`'s identity within the view.
+    pub fn rank(&self, i: usize) -> usize {
+        let my = self.ids[i];
+        self.ids.iter().filter(|&&x| x < my).count()
+    }
+
+    /// Canonical signature of the view: structure, distances, identity
+    /// order type, and input labels (plus outputs when present). Two views
+    /// with equal signatures are indistinguishable to any order-invariant
+    /// algorithm.
+    pub fn signature(&self) -> BallSignature {
+        let order: Vec<u32> = (0..self.len()).map(|i| self.rank(i) as u32).collect();
+        let mut edges: Vec<(u32, u32)> = self
+            .local_graph()
+            .edges()
+            .map(|(u, v)| (u.0, v.0))
+            .collect();
+        edges.sort_unstable();
+        let payloads = (0..self.len())
+            .map(|i| {
+                let mut p = Vec::new();
+                p.push(self.inputs[i].len() as u8);
+                p.extend_from_slice(self.inputs[i].as_bytes());
+                if let Some(outs) = &self.outputs {
+                    p.push(outs[i].len() as u8);
+                    p.extend_from_slice(outs[i].as_bytes());
+                }
+                p
+            })
+            .collect();
+        BallSignature {
+            radius: self.radius,
+            distances: (0..self.len()).map(|i| self.distance(i)).collect(),
+            edges,
+            id_order: order,
+            payloads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{Label, Labeling};
+    use rlnc_graph::generators::{cycle, star};
+    use rlnc_graph::IdAssignment;
+
+    fn setup(n: usize) -> (Graph, Labeling, IdAssignment) {
+        let g = cycle(n);
+        let x = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0) % 2));
+        let ids = IdAssignment::consecutive(&g);
+        (g, x, ids)
+    }
+
+    #[test]
+    fn view_center_is_local_zero() {
+        let (g, x, ids) = setup(8);
+        let inst = Instance::new(&g, &x, &ids);
+        let view = View::collect(&inst, NodeId(5), 2);
+        assert_eq!(view.center_local(), 0);
+        assert_eq!(view.host_node(0), NodeId(5));
+        assert_eq!(view.center_id(), 6);
+        assert_eq!(view.len(), 5);
+        assert!(!view.has_outputs());
+    }
+
+    #[test]
+    fn view_exposes_inputs_and_ranks() {
+        let (g, x, ids) = setup(8);
+        let inst = Instance::new(&g, &x, &ids);
+        let view = View::collect(&inst, NodeId(3), 1);
+        assert_eq!(view.input(0).as_u64(), 1);
+        // Center id 4; neighbors ids 3 and 5 -> rank 1.
+        assert_eq!(view.center_rank(), 1);
+        assert_eq!(view.center_degree(), 2);
+        assert_eq!(view.center_neighbors().len(), 2);
+    }
+
+    #[test]
+    fn radius_zero_view_knows_degree() {
+        let g = star(6);
+        let x = Labeling::empty(6);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let view = View::collect(&inst, NodeId(0), 0);
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.center_degree(), 5);
+        assert!(view.center_neighbors().is_empty());
+    }
+
+    #[test]
+    fn io_view_exposes_outputs() {
+        let (g, x, ids) = setup(6);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0)));
+        let io = IoConfig::new(&g, &x, &y);
+        let view = View::collect_io(&io, &ids, NodeId(2), 1);
+        assert!(view.has_outputs());
+        assert_eq!(view.output(0).as_u64(), 2);
+        let neighbor_outputs: Vec<u64> = view
+            .center_neighbors()
+            .iter()
+            .map(|&i| view.output(i).as_u64())
+            .collect();
+        assert!(neighbor_outputs.contains(&1) && neighbor_outputs.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no outputs")]
+    fn construction_view_has_no_outputs() {
+        let (g, x, ids) = setup(5);
+        let inst = Instance::new(&g, &x, &ids);
+        let view = View::collect(&inst, NodeId(0), 1);
+        let _ = view.output(0);
+    }
+
+    #[test]
+    fn signatures_capture_order_not_values() {
+        let (g, x, _) = setup(10);
+        let ids_a = IdAssignment::consecutive(&g);
+        let ids_b = IdAssignment::spread(&g, 77);
+        let inst_a = Instance::new(&g, &x, &ids_a);
+        let inst_b = Instance::new(&g, &x, &ids_b);
+        let sig_a = View::collect(&inst_a, NodeId(4), 2).signature();
+        let sig_b = View::collect(&inst_b, NodeId(4), 2).signature();
+        assert_eq!(sig_a, sig_b);
+        // Different inputs change the signature.
+        let x2 = Labeling::empty(10);
+        let inst_c = Instance::new(&g, &x2, &ids_a);
+        let sig_c = View::collect(&inst_c, NodeId(4), 2).signature();
+        assert_ne!(sig_a, sig_c);
+    }
+}

@@ -1,0 +1,106 @@
+//! # rlnc-experiments — the experiment harness
+//!
+//! The paper contains no numbered tables or figures; its "evaluation" is a
+//! chain of quantitative claims (decider guarantees, probability bounds,
+//! growth rates, decay rates). Each module here regenerates one of those
+//! claims as a table or series, following the experiment index in
+//! `DESIGN.md` (§5):
+//!
+//! | Id | Claim |
+//! |----|-------|
+//! | E1 | `amos` golden-ratio decider guarantee ≈ 0.618 (§2.3.1) |
+//! | E2 | random 3-coloring solves the ε-slack relaxation (§1.1) |
+//! | E3 | Cole–Vishkin 3-colors rings in `O(log* n)` rounds (§1.1) |
+//! | E4 | order-invariant algorithms are monochromatic on consecutive-ID cycles (§4) |
+//! | E5 | the `L_f` decider of Corollary 1 has guarantee `> 1/2` |
+//! | E6 | disjoint-union boosting: acceptance ≤ `(1−βp)^ν` (Claim 3) |
+//! | E7 | gluing: connected, degree ≤ k, acceptance decays with ν′ (Theorem 1) |
+//! | E8 | Ramsey lift: order-invariance + agreement on consistent ID sets (Claim 1 / Appendix A) |
+//! | E9 | ε-slack: randomization helps, constant-round deterministic algorithms do not (§5) |
+//! | E10 | message-passing execution ≡ ball-view execution (§2.1) |
+//!
+//! Every experiment returns an [`ExperimentReport`] holding a rendered
+//! table plus a list of [`Finding`]s (paper claim vs measured value), which
+//! the `rlnc-experiments` binary assembles into `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e01_amos;
+pub mod e02_slack;
+pub mod e03_cole_vishkin;
+pub mod e04_order_invariant;
+pub mod e05_resilient_decider;
+pub mod e06_boosting;
+pub mod e07_gluing;
+pub mod e08_ramsey;
+pub mod e09_slack_vs_det;
+pub mod e10_equivalence;
+pub mod report;
+
+pub use report::{ExperimentReport, Finding, Scale, Table};
+
+/// Runs every experiment at the given scale, in index order.
+pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
+    vec![
+        e01_amos::run(scale),
+        e02_slack::run(scale),
+        e03_cole_vishkin::run(scale),
+        e04_order_invariant::run(scale),
+        e05_resilient_decider::run(scale),
+        e06_boosting::run(scale),
+        e07_gluing::run(scale),
+        e08_ramsey::run(scale),
+        e09_slack_vs_det::run(scale),
+        e10_equivalence::run(scale),
+    ]
+}
+
+/// Runs a single experiment by its identifier (e.g. `"e1"`, `"E07"`).
+pub fn run_by_id(id: &str, scale: Scale) -> Option<ExperimentReport> {
+    let normalized = id.trim().to_ascii_lowercase();
+    let number: usize = normalized.trim_start_matches('e').parse().ok()?;
+    Some(match number {
+        1 => e01_amos::run(scale),
+        2 => e02_slack::run(scale),
+        3 => e03_cole_vishkin::run(scale),
+        4 => e04_order_invariant::run(scale),
+        5 => e05_resilient_decider::run(scale),
+        6 => e06_boosting::run(scale),
+        7 => e07_gluing::run(scale),
+        8 => e08_ramsey::run(scale),
+        9 => e09_slack_vs_det::run(scale),
+        10 => e10_equivalence::run(scale),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_by_id_accepts_flexible_spelling() {
+        assert!(run_by_id("e1", Scale::Smoke).is_some());
+        assert!(run_by_id("E03", Scale::Smoke).is_some());
+        assert!(run_by_id("7", Scale::Smoke).is_some());
+        assert!(run_by_id("e99", Scale::Smoke).is_none());
+        assert!(run_by_id("nonsense", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn all_experiments_produce_consistent_reports_at_smoke_scale() {
+        for report in run_all(Scale::Smoke) {
+            assert!(!report.id.is_empty());
+            assert!(!report.table.columns.is_empty());
+            assert!(!report.table.rows.is_empty());
+            assert!(!report.findings.is_empty());
+            for row in &report.table.rows {
+                assert_eq!(row.len(), report.table.columns.len(), "ragged row in {}", report.id);
+            }
+            let markdown = report.to_markdown();
+            assert!(markdown.contains(&report.id));
+            assert!(markdown.contains('|'));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Command-line driver for the experiment harness.
+//!
+//! ```text
+//! rlnc-experiments                  # run every experiment at standard scale
+//! rlnc-experiments --scale full     # tighter confidence intervals
+//! rlnc-experiments --only e5 e7     # a subset
+//! rlnc-experiments --markdown out.md# also write a markdown report
+//! ```
+
+use rlnc_experiments::{run_all, run_by_id, ExperimentReport, Scale};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Standard;
+    let mut only: Vec<String> = Vec::new();
+    let mut markdown_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("full") => Scale::Full,
+                    _ => Scale::Standard,
+                };
+            }
+            "--only" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    only.push(args[i].clone());
+                    i += 1;
+                }
+                continue;
+            }
+            "--markdown" => {
+                i += 1;
+                markdown_path = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: rlnc-experiments [--scale smoke|standard|full] [--only e1 e2 ...] [--markdown FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reports: Vec<ExperimentReport> = if only.is_empty() {
+        run_all(scale)
+    } else {
+        only.iter()
+            .filter_map(|id| {
+                let report = run_by_id(id, scale);
+                if report.is_none() {
+                    eprintln!("unknown experiment id: {id}");
+                }
+                report
+            })
+            .collect()
+    };
+
+    let mut all_consistent = true;
+    let mut combined = String::new();
+    for report in &reports {
+        let markdown = report.to_markdown();
+        println!("{markdown}");
+        combined.push_str(&markdown);
+        all_consistent &= report.all_consistent();
+    }
+
+    if let Some(path) = markdown_path {
+        let mut file = std::fs::File::create(&path).expect("cannot create markdown output file");
+        file.write_all(combined.as_bytes()).expect("cannot write markdown output");
+        eprintln!("wrote {path}");
+    }
+
+    if !all_consistent {
+        eprintln!("WARNING: at least one finding did not match the paper's claim");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Frugal coloring (§4).
+//!
+//! A `c`-frugal proper coloring is a proper coloring in which no color
+//! appears more than `c` times in the neighborhood of any node. The paper
+//! brings it up to illustrate that *locally fixing* a language — repairing
+//! a bounded number of faulty nodes in constant time — can be non-trivial
+//! even for languages in LD, which is why Corollary 1's general argument
+//! (rather than ad-hoc local fixing) is needed.
+
+use rlnc_core::prelude::*;
+use rlnc_graph::NodeId;
+use std::collections::HashMap;
+
+/// The `c`-frugal proper `colors`-coloring language (radius 1).
+#[derive(Debug, Clone, Copy)]
+pub struct FrugalColoring {
+    colors: u64,
+    frugality: usize,
+}
+
+impl FrugalColoring {
+    /// Proper `colors`-coloring where each color appears at most
+    /// `frugality` times in any neighborhood.
+    pub fn new(colors: u64, frugality: usize) -> Self {
+        assert!(colors >= 1 && frugality >= 1);
+        FrugalColoring { colors, frugality }
+    }
+
+    /// Palette size.
+    pub fn colors(&self) -> u64 {
+        self.colors
+    }
+
+    /// Maximum allowed multiplicity of a color in a neighborhood.
+    pub fn frugality(&self) -> usize {
+        self.frugality
+    }
+
+    /// Largest multiplicity of any color in the neighborhood of `v`.
+    pub fn neighborhood_multiplicity(io: &IoConfig<'_>, v: NodeId) -> usize {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for w in io.graph.neighbor_ids(v) {
+            *counts.entry(io.output.get(w).as_u64()).or_insert(0) += 1;
+        }
+        counts.into_values().max().unwrap_or(0)
+    }
+}
+
+impl LclLanguage for FrugalColoring {
+    fn radius(&self) -> u32 {
+        1
+    }
+
+    fn is_bad_ball(&self, io: &IoConfig<'_>, v: NodeId) -> bool {
+        let mine = io.output.get(v);
+        let c = mine.as_u64();
+        if c < 1 || c > self.colors {
+            return true;
+        }
+        if io.graph.neighbor_ids(v).any(|w| io.output.get(w) == mine) {
+            return true;
+        }
+        Self::neighborhood_multiplicity(io, v) > self.frugality
+    }
+
+    fn name(&self) -> String {
+        format!("{}-frugal-{}-coloring", self.frugality, self.colors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnc_graph::generators::star;
+
+    #[test]
+    fn frugal_coloring_bounds_color_multiplicity() {
+        // Star with 6 leaves: center color 1. Giving all leaves color 2 is a
+        // proper 2-coloring but not 2-frugal at the center.
+        let g = star(7);
+        let x = Labeling::empty(7);
+        let all_same = Labeling::from_fn(&g, |v| Label::from_u64(if v.0 == 0 { 1 } else { 2 }));
+        let io = IoConfig::new(&g, &x, &all_same);
+        assert!(FrugalColoring::new(6, 6).contains(&io));
+        assert!(!FrugalColoring::new(6, 2).contains(&io));
+        assert_eq!(FrugalColoring::neighborhood_multiplicity(&io, rlnc_graph::NodeId(0)), 6);
+        // Spreading the leaves over three colors is 2-frugal.
+        let spread = Labeling::from_fn(&g, |v| {
+            Label::from_u64(if v.0 == 0 { 1 } else { 2 + u64::from(v.0 % 3) })
+        });
+        let io = IoConfig::new(&g, &x, &spread);
+        assert!(FrugalColoring::new(6, 2).contains(&io));
+    }
+
+    #[test]
+    fn frugal_coloring_still_requires_properness_and_range() {
+        let g = star(4);
+        let x = Labeling::empty(4);
+        let conflict = Labeling::from_fn(&g, |_| Label::from_u64(1));
+        assert!(!FrugalColoring::new(4, 3).contains(&IoConfig::new(&g, &x, &conflict)));
+        let out_of_range = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0) + 7));
+        assert!(!FrugalColoring::new(4, 3).contains(&IoConfig::new(&g, &x, &out_of_range)));
+        assert_eq!(FrugalColoring::new(4, 3).colors(), 4);
+        assert_eq!(FrugalColoring::new(4, 3).frugality(), 3);
+        assert!(LclLanguage::name(&FrugalColoring::new(4, 3)).contains("frugal"));
+    }
+}

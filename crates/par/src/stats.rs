@@ -1,0 +1,301 @@
+//! Summary statistics and confidence intervals for Monte-Carlo estimates.
+
+use serde::{Deserialize, Serialize};
+
+/// A Bernoulli (probability) estimate with a Wilson score interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Number of successes observed.
+    pub successes: u64,
+    /// Number of trials run.
+    pub trials: u64,
+    /// Point estimate `successes / trials`.
+    pub p_hat: f64,
+    /// Lower end of the 95% Wilson score interval.
+    pub lower: f64,
+    /// Upper end of the 95% Wilson score interval.
+    pub upper: f64,
+}
+
+impl Estimate {
+    /// Builds an estimate from success/trial counts (95% interval).
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        assert!(trials > 0, "cannot estimate a probability from zero trials");
+        assert!(successes <= trials);
+        let p_hat = successes as f64 / trials as f64;
+        let (lower, upper) = wilson_interval(successes, trials, 1.959_964);
+        Estimate {
+            successes,
+            trials,
+            p_hat,
+            lower,
+            upper,
+        }
+    }
+
+    /// Half-width of the confidence interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Returns `true` if the interval contains `value`.
+    pub fn covers(&self, value: f64) -> bool {
+        self.lower <= value && value <= self.upper
+    }
+
+    /// Returns `true` if the whole interval lies strictly above `threshold`
+    /// (used for "guarantee > 1/2" style assertions).
+    pub fn strictly_above(&self, threshold: f64) -> bool {
+        self.lower > threshold
+    }
+
+    /// Returns `true` if the whole interval lies strictly below `threshold`.
+    pub fn strictly_below(&self, threshold: f64) -> bool {
+        self.upper < threshold
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// `z` is the standard-normal quantile (1.96 for 95%). The Wilson interval
+/// behaves sensibly for proportions near 0 and 1, which matters here
+/// because many of the paper's probabilities (e.g. acceptance of glued
+/// instances) are driven toward the extremes.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample variance (unbiased; 0 for fewer than two values).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Summary statistics of a sample of real values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns a zeroed summary for an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: variance(values).sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Integer-valued histogram with fixed bucket width 1, used e.g. for
+/// "number of improperly colored nodes" distributions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability that an observation is at most `value`.
+    pub fn cdf(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.counts.iter().take(value + 1).sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// Mean of the recorded observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        weighted as f64 / self.total as f64
+    }
+
+    /// Largest value observed, if any.
+    pub fn max(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Merges another histogram into this one (used by parallel reductions).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_from_counts() {
+        let e = Estimate::from_counts(618, 1000);
+        assert!((e.p_hat - 0.618).abs() < 1e-12);
+        assert!(e.lower < 0.618 && 0.618 < e.upper);
+        assert!(e.covers(0.62));
+        assert!(e.strictly_above(0.5));
+        assert!(e.strictly_below(0.7));
+        assert!(e.half_width() < 0.04);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn estimate_requires_trials() {
+        let _ = Estimate::from_counts(0, 0);
+    }
+
+    #[test]
+    fn wilson_interval_extremes() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert!(lo < 1e-9);
+        assert!(hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95);
+        assert!(hi > 1.0 - 1e-9 || hi <= 1.0);
+        assert!(hi >= lo && hi <= 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_shrinks_with_trials() {
+        let (lo1, hi1) = wilson_interval(50, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(5000, 10000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.std_error() > 0.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.std_error(), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_cdf() {
+        let mut h = Histogram::new();
+        for v in [0usize, 1, 1, 2, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 0);
+        assert!((h.cdf(1) - 0.6).abs() < 1e-12);
+        assert!((h.cdf(5) - 1.0).abs() < 1e-12);
+        assert!((h.mean() - 1.8).abs() < 1e-12);
+        assert_eq!(h.max(), Some(5));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(3), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # rlnc — Randomized Local Network Computing
+//!
+//! A LOCAL-model simulation and derandomization toolkit reproducing
+//! *Randomized Local Network Computing* (Feuilloley & Fraigniaud,
+//! SPAA 2015). This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — graphs, generators, identity assignments, balls, gluing.
+//! * [`par`] — parallel Monte-Carlo trials, deterministic RNG streams,
+//!   statistics.
+//! * [`core`] — the LOCAL model, languages, decision classes (LD/BPLD),
+//!   relaxations, and the Theorem-1 derandomization machinery.
+//! * [`langs`] — concrete languages and algorithms (coloring, Cole–Vishkin,
+//!   MIS, matching, AMOS, LLL, ...).
+//! * [`experiments`] — the harness that regenerates the paper's
+//!   quantitative claims.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rlnc::prelude::*;
+//!
+//! // Build an oriented ring, 3-color it with Cole–Vishkin, and verify.
+//! let (graph, input, ids) = rlnc::langs::cole_vishkin::oriented_ring_instance(64);
+//! let algo = rlnc::langs::cole_vishkin::ColeVishkinRingColoring::for_ring_size(64);
+//! let instance = Instance::new(&graph, &input, &ids);
+//! let output = Simulator::new().run(&algo, &instance);
+//! let coloring = rlnc::langs::coloring::ProperColoring::new(3);
+//! assert!(coloring.contains(&IoConfig::new(&graph, &input, &output)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rlnc_core as core;
+pub use rlnc_experiments as experiments;
+pub use rlnc_graph as graph;
+pub use rlnc_langs as langs;
+pub use rlnc_par as par;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use rlnc_core::prelude::*;
+    pub use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
+    pub use rlnc_par::{MonteCarlo, SeedSequence};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let graph = crate::graph::generators::cycle(5);
+        assert_eq!(graph.node_count(), 5);
+        let est = crate::par::MonteCarlo::new(100).estimate(|_| true);
+        assert_eq!(est.successes, 100);
+    }
+}
