@@ -1,6 +1,6 @@
 //! E5 — the Corollary-1 decider for `L_f` has guarantee above 1/2.
 //!
-//! For `f ∈ {1, 2, 4, 8}` and planted bad-ball counts `|F| ∈ {0, ..., f+3}`
+//! For `f ∈ {1, 2, 4, 8}` and planted bad-ball counts `|F| ∈ {0, 3, 6, 9}`
 //! the experiment measures `Pr[all accept]` of the decider with
 //! `p ∈ (2^{-1/f}, 2^{-1/(f+1)})` and compares it with the theoretical
 //! `p^{|F|}`, checking the two inequalities `p^f > 1/2` (yes-side) and
@@ -14,10 +14,10 @@ use rlnc_graph::generators::cycle;
 use rlnc_graph::{IdAssignment, NodeId};
 use rlnc_langs::coloring::ProperColoring;
 
-/// Plants exactly `conflicts` disjoint monochromatic edges on a properly
-/// 2-colored even cycle, which creates exactly `2 × conflicts` bad balls
-/// when the planted edges are far apart... each recolored node conflicts
-/// with exactly one neighbor, making both endpoints' balls bad.
+/// Plants `conflicts` recolorings on a properly 2-colored even cycle,
+/// creating exactly `3 × conflicts` bad balls when the planted regions are
+/// far apart: each recolored node matches both of its neighbors, so the
+/// victim's ball and both neighbors' balls become bad.
 fn planted_configuration(n: usize, conflicts: usize) -> (rlnc_graph::Graph, Labeling, Labeling, usize) {
     assert!(n % 2 == 0 && 6 * conflicts <= n);
     let graph = cycle(n);
@@ -62,8 +62,16 @@ pub fn run(scale: Scale) -> ExperimentReport {
             let (graph, input, output, bad) = planted_configuration(n, conflicts);
             let ids = IdAssignment::consecutive(&graph);
             let io = IoConfig::new(&graph, &input, &output);
-            let est = acceptance_probability(&decider, &io, &ids, trials, 0xE5 + (f * 10 + planted) as u64);
             let theory = theoretical_acceptance(f, bad);
+            // Near the resilience boundary the tested inequality can be
+            // razor-thin (f = 8, |F| = 9 leaves 1/2 − p^9 ≈ 0.016), so give
+            // each row enough trials to resolve its own margin at ≈4σ; the
+            // scale-derived count is kept as the floor.
+            // The 0.015 floor also caps `needed` at ~17.8k trials per row.
+            let margin = (theory - 0.5).abs().max(0.015);
+            let needed = (0.25 * (4.0 / margin).powi(2)).ceil() as u64;
+            let row_trials = trials.max(needed);
+            let est = acceptance_probability(&decider, &io, &ids, row_trials, 0xE5 + (f * 10 + planted) as u64);
             let yes_side = bad <= f;
             let side_ok = if yes_side { est.p_hat > 0.5 } else { 1.0 - est.p_hat > 0.5 };
             // The inequality is only *required* at |F| ≤ f (yes) or ≥ f+1 (no);
@@ -126,6 +134,6 @@ mod tests {
         let (_, _, _, bad) = planted_configuration(48, 0);
         assert_eq!(bad, 0);
         let (_, _, _, bad) = planted_configuration(48, 2);
-        assert!(bad >= 2 && bad <= 6, "got {bad}");
+        assert_eq!(bad, 6, "3 bad balls per planted conflict");
     }
 }

@@ -40,39 +40,37 @@ pub mod report;
 
 pub use report::{ExperimentReport, Finding, Scale, Table};
 
+/// The experiment runners in index order — the single source of truth for
+/// which experiments exist (experiment `eN` is `EXPERIMENTS[N - 1]`).
+pub const EXPERIMENTS: [fn(Scale) -> ExperimentReport; 10] = [
+    e01_amos::run,
+    e02_slack::run,
+    e03_cole_vishkin::run,
+    e04_order_invariant::run,
+    e05_resilient_decider::run,
+    e06_boosting::run,
+    e07_gluing::run,
+    e08_ramsey::run,
+    e09_slack_vs_det::run,
+    e10_equivalence::run,
+];
+
 /// Runs every experiment at the given scale, in index order.
 pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
-    vec![
-        e01_amos::run(scale),
-        e02_slack::run(scale),
-        e03_cole_vishkin::run(scale),
-        e04_order_invariant::run(scale),
-        e05_resilient_decider::run(scale),
-        e06_boosting::run(scale),
-        e07_gluing::run(scale),
-        e08_ramsey::run(scale),
-        e09_slack_vs_det::run(scale),
-        e10_equivalence::run(scale),
-    ]
+    EXPERIMENTS.iter().map(|run| run(scale)).collect()
+}
+
+/// Parses an experiment identifier (`"e1"`, `"E07"`, `"7"`) into its
+/// number, returning `None` for ids that name no experiment.
+pub fn parse_experiment_id(id: &str) -> Option<usize> {
+    let normalized = id.trim().to_ascii_lowercase();
+    let number: usize = normalized.trim_start_matches('e').parse().ok()?;
+    (1..=EXPERIMENTS.len()).contains(&number).then_some(number)
 }
 
 /// Runs a single experiment by its identifier (e.g. `"e1"`, `"E07"`).
 pub fn run_by_id(id: &str, scale: Scale) -> Option<ExperimentReport> {
-    let normalized = id.trim().to_ascii_lowercase();
-    let number: usize = normalized.trim_start_matches('e').parse().ok()?;
-    Some(match number {
-        1 => e01_amos::run(scale),
-        2 => e02_slack::run(scale),
-        3 => e03_cole_vishkin::run(scale),
-        4 => e04_order_invariant::run(scale),
-        5 => e05_resilient_decider::run(scale),
-        6 => e06_boosting::run(scale),
-        7 => e07_gluing::run(scale),
-        8 => e08_ramsey::run(scale),
-        9 => e09_slack_vs_det::run(scale),
-        10 => e10_equivalence::run(scale),
-        _ => return None,
-    })
+    Some(EXPERIMENTS[parse_experiment_id(id)? - 1](scale))
 }
 
 #[cfg(test)]

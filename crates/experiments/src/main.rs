@@ -7,7 +7,7 @@
 //! rlnc-experiments --markdown out.md# also write a markdown report
 //! ```
 
-use rlnc_experiments::{run_all, run_by_id, ExperimentReport, Scale};
+use rlnc_experiments::{parse_experiment_id, run_all, run_by_id, ExperimentReport, Scale};
 use std::io::Write;
 
 fn main() {
@@ -23,21 +23,39 @@ fn main() {
                 i += 1;
                 scale = match args.get(i).map(String::as_str) {
                     Some("smoke") => Scale::Smoke,
+                    Some("standard") => Scale::Standard,
                     Some("full") => Scale::Full,
-                    _ => Scale::Standard,
+                    other => {
+                        eprintln!(
+                            "--scale requires one of smoke|standard|full, got: {}",
+                            other.unwrap_or("nothing")
+                        );
+                        std::process::exit(2);
+                    }
                 };
             }
             "--only" => {
                 i += 1;
+                let before = only.len();
                 while i < args.len() && !args[i].starts_with("--") {
                     only.push(args[i].clone());
                     i += 1;
+                }
+                if only.len() == before {
+                    eprintln!("--only requires at least one experiment id (e.g. --only e1 e10)");
+                    std::process::exit(2);
                 }
                 continue;
             }
             "--markdown" => {
                 i += 1;
-                markdown_path = args.get(i).cloned();
+                markdown_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => {
+                        eprintln!("--markdown requires a file path");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--help" | "-h" => {
                 eprintln!("usage: rlnc-experiments [--scale smoke|standard|full] [--only e1 e2 ...] [--markdown FILE]");
@@ -51,18 +69,20 @@ fn main() {
         i += 1;
     }
 
+    // Validate ids up front so a typo (e.g. in a CI invocation) fails loudly
+    // instead of silently running an empty report list and exiting 0.
+    let unknown: Vec<&String> = only.iter().filter(|id| parse_experiment_id(id).is_none()).collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment id: {id}");
+        }
+        std::process::exit(2);
+    }
+
     let reports: Vec<ExperimentReport> = if only.is_empty() {
         run_all(scale)
     } else {
-        only.iter()
-            .filter_map(|id| {
-                let report = run_by_id(id, scale);
-                if report.is_none() {
-                    eprintln!("unknown experiment id: {id}");
-                }
-                report
-            })
-            .collect()
+        only.iter().filter_map(|id| run_by_id(id, scale)).collect()
     };
 
     let mut all_consistent = true;

@@ -1,0 +1,84 @@
+//! Smoke coverage of the experiment harness and its CLI: the library entry
+//! point (`run_by_id` at `Scale::Smoke`) for the first and last experiments,
+//! and the compiled `rlnc-experiments` binary end to end.
+
+use rlnc_experiments::{run_by_id, Scale};
+
+#[test]
+fn e1_smoke_run_produces_a_consistent_report() {
+    let report = run_by_id("e1", Scale::Smoke).expect("e1 exists");
+    assert_eq!(report.id, "E1");
+    assert!(report.all_consistent(), "findings: {:?}", report.findings);
+    let markdown = report.to_markdown();
+    assert!(markdown.contains("E1"));
+    assert!(markdown.contains("consistent"));
+}
+
+#[test]
+fn e10_smoke_run_produces_a_consistent_report() {
+    let report = run_by_id("e10", Scale::Smoke).expect("e10 exists");
+    assert_eq!(report.id, "E10");
+    assert!(report.all_consistent(), "findings: {:?}", report.findings);
+    assert!(!report.table.rows.is_empty());
+}
+
+#[test]
+fn cli_binary_runs_e1_and_e10_at_smoke_scale() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let out_path = std::env::temp_dir().join(format!(
+        "rlnc-cli-smoke-{}.md",
+        std::process::id()
+    ));
+    let output = std::process::Command::new(exe)
+        .args(["--scale", "smoke", "--only", "e1", "e10"])
+        .arg("--markdown")
+        .arg(&out_path)
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("E1"), "stdout missing E1 report:\n{stdout}");
+    assert!(stdout.contains("E10"), "stdout missing E10 report:\n{stdout}");
+    let written = std::fs::read_to_string(&out_path).expect("markdown report written");
+    assert!(written.contains("E1") && written.contains("E10"));
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn cli_binary_rejects_unknown_arguments() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let output = std::process::Command::new(exe)
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn cli_binary_rejects_unknown_experiment_ids_and_bad_scales() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    // A typo'd id must fail loudly instead of running nothing and exiting 0.
+    let output = std::process::Command::new(exe)
+        .args(["--scale", "smoke", "--only", "e99"])
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown experiment id"));
+
+    let output = std::process::Command::new(exe)
+        .args(["--scale", "warp"])
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+
+    let output = std::process::Command::new(exe)
+        .arg("--markdown")
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,7 +1,7 @@
 //! Cole–Vishkin 3-coloring of oriented rings in `O(log* n)` rounds.
 //!
 //! §1.1 of the paper recalls Linial's lower bound: no deterministic (or
-//! even randomized [27]) algorithm 3-colors the `n`-node ring in `o(log* n)`
+//! even randomized \[27\]) algorithm 3-colors the `n`-node ring in `o(log* n)`
 //! rounds, *even when nodes know `n` and share a sense of direction*. The
 //! matching upper bound is the Cole–Vishkin color-reduction technique,
 //! implemented here for rings given a consistent orientation (each node's

@@ -1,6 +1,6 @@
 //! A constructive Lovász-Local-Lemma (LLL) instance.
 //!
-//! §1.1 of the paper cites the relaxed constructive LLL [6] alongside
+//! §1.1 of the paper cites the relaxed constructive LLL \[6\] alongside
 //! relaxed coloring: some nodes are allowed to output assignments for which
 //! their "bad event" holds. We instantiate the standard
 //! neighborhood-monochromaticity LLL: every node outputs a bit, and the bad

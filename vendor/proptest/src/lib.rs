@@ -1,0 +1,135 @@
+//! Offline mini property-testing harness, API-compatible with the subset
+//! of `proptest` this workspace uses.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `fn name(arg in strategy, ...)` test items;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * integer/float range strategies (`0u64..5000`, `0.0..1.0`, `a..=b`)
+//!   and [`collection::vec`];
+//! * [`prelude`] re-exporting all of the above plus `any::<T>()`.
+//!
+//! Unlike full proptest there is no shrinking: a failing case reports its
+//! case number and generated inputs and panics. Cases are generated from a
+//! fixed per-case seed, so failures are reproducible run-to-run.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import for tests: `use proptest::prelude::*;`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the enclosing property if `cond` is false (without aborting the
+/// whole process the way `assert!` would inside a closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), left, right
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), left
+            ));
+        }
+    }};
+}
+
+/// Defines property-based tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_cases(
+                    ::std::stringify!($name),
+                    &__config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                        let __described = ::std::format!(
+                            ::std::concat!($(::std::stringify!($arg), " = {:?}, ",)* ""),
+                            $(&$arg),*
+                        );
+                        let __outcome: ::std::result::Result<(), ::std::string::String> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        __outcome.map_err(|e| (__described, e))
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}

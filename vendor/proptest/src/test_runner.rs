@@ -1,0 +1,72 @@
+//! The case-execution loop and its configuration.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration of a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per `(property, case)`, so
+/// failures reproduce across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// The generator for case number `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            acc ^= u64::from(byte);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(acc ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runs `config.cases` cases of one property, panicking on the first
+/// failure with the case number and the generated inputs.
+pub fn run_cases<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (String, String)>,
+{
+    for i in 0..u64::from(config.cases) {
+        let mut rng = TestRng::for_case(name, i);
+        if let Err((inputs, message)) = case(&mut rng) {
+            panic!(
+                "property '{name}' failed at case {i}/{total}\n  inputs: {inputs}\n  {message}",
+                total = config.cases,
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Distributions: the standard (full-range / unit-interval) distribution
+//! and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over all values for integers,
+/// uniform on `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $next:ident),* $(,)?) => {
+        $(impl Distribution<$t> for StandardUniform {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$next() as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Distribution<u128> for StandardUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling.
+pub mod uniform {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can be sampled from directly (`rng.random_range(a..b)`).
+    pub trait SampleRange<T> {
+        /// Samples a single value uniformly from `self`.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a 64-bit word to `[0, width)` without modulo bias
+    /// (Lemire's multiply-shift method).
+    #[inline]
+    fn bounded(word: u64, width: u64) -> u64 {
+        ((u128::from(word) * u128::from(width)) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_range_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let width = (self.end - self.start) as u64;
+                    self.start + bounded(rng.next_u64(), width) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let width = (end - start) as u64 + 1;
+                    start + bounded(rng.next_u64(), width) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add(bounded(rng.next_u64(), width) as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let width = (end as i64).wrapping_sub(start as i64) as u64 + 1;
+                    start.wrapping_add(bounded(rng.next_u64(), width) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_range_float {
+        ($($t:ty => $bits:expr, $shift:expr),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let unit = (rng.next_u64() >> $shift) as $t
+                        * (1.0 / (1u64 << $bits) as $t);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_float!(f64 => 53, 11, f32 => 24, 40);
+}

@@ -1,0 +1,164 @@
+//! Offline vendored ChaCha generators for this workspace.
+//!
+//! A genuine ChaCha8 block function (D. J. Bernstein's design: 16-word
+//! state, 8 rounds as 4 column/diagonal double-rounds) driving the
+//! [`rand::RngCore`] interface. Streams are deterministic functions of the
+//! 256-bit seed, which is all the workspace's reproducibility machinery
+//! (`SeedSequence`, per-node coins) relies on; bit-compatibility with the
+//! upstream `rand_chacha` crate is not promised.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// One ChaCha quarter round on four state words.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc_rounds:expr, $double_rounds:expr) => {
+        #[doc = concat!("A ChaCha generator with ", $doc_rounds, " rounds.")]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            /// Next unread word in `buffer`; 16 means "exhausted".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                state[14] = 0;
+                state[15] = 0;
+                let initial = state;
+                for _ in 0..$double_rounds {
+                    // Column round.
+                    quarter_round(&mut state, 0, 4, 8, 12);
+                    quarter_round(&mut state, 1, 5, 9, 13);
+                    quarter_round(&mut state, 2, 6, 10, 14);
+                    quarter_round(&mut state, 3, 7, 11, 15);
+                    // Diagonal round.
+                    quarter_round(&mut state, 0, 5, 10, 15);
+                    quarter_round(&mut state, 1, 6, 11, 12);
+                    quarter_round(&mut state, 2, 7, 8, 13);
+                    quarter_round(&mut state, 3, 4, 9, 14);
+                }
+                for (word, init) in state.iter_mut().zip(initial.iter()) {
+                    *word = word.wrapping_add(*init);
+                }
+                self.buffer = state;
+                self.index = 0;
+                self.counter = self.counter.wrapping_add(1);
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, word) in key.iter_mut().enumerate() {
+                    let mut bytes = [0u8; 4];
+                    bytes.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+                    *word = u32::from_le_bytes(bytes);
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_word());
+                let hi = u64::from(self.next_word());
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, "8", 4);
+chacha_rng!(ChaCha12Rng, "12", 6);
+chacha_rng!(ChaCha20Rng, "20", 10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(12);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chacha20_known_answer_zero_key() {
+        // RFC 7539-style block with 8-byte counter layout and zero nonce:
+        // first word of the ChaCha20 keystream for the all-zero key.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn stream_spans_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(0);
+        let second: Vec<u32> = (0..40).map(|_| again.next_u32()).collect();
+        assert_eq!(first, second);
+        let distinct: std::collections::HashSet<u32> = first.iter().copied().collect();
+        assert!(distinct.len() > 35, "words should look random");
+    }
+
+    #[test]
+    fn random_bool_works_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "got {hits}");
+    }
+}

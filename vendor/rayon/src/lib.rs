@@ -1,0 +1,231 @@
+//! Offline, API-compatible subset of `rayon`, backed by `std::thread::scope`.
+//!
+//! Provides `par_iter()` / `into_par_iter()` with the adapters the
+//! workspace uses (`enumerate`, `map`) and the terminal operations
+//! (`collect`, `sum`, `for_each`, `reduce`). Work is split into one
+//! contiguous chunk per available core and results are reassembled in
+//! order, so parallel execution is a pure drop-in for sequential: same
+//! outputs, same ordering, different wall-clock.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Returns the number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into per-thread chunks, applies `f` in parallel, and
+/// returns the results in the original order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut items = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk_size));
+        chunks.push(tail);
+    }
+    chunks.reverse();
+    let f = &f;
+    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect()
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over items of type `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index, like [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily maps each item through `f`; the mapping runs in parallel at
+    /// the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, |item| f(item));
+    }
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, self.f)
+    }
+
+    /// Runs the map in parallel and collects the results in order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Runs the map in parallel and reduces the results in order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The reference item type.
+    type Item: Send;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let total: u64 = (0..1_000u64).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(total, (0..1_000u64).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_map() {
+        let data = vec![10, 20, 30];
+        let v: Vec<usize> = data.par_iter().enumerate().map(|(i, &x)| i + x).collect();
+        assert_eq!(v, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stub of `serde` for this hermetic workspace.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never invokes a serialization backend (there is no `serde_json` or
+//! similar in the dependency tree). This stub therefore provides the two
+//! trait names with blanket implementations, plus no-op derive macros, so
+//! that `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
+//! compile unchanged. Swapping in real serde later requires only a
+//! manifest change, since all usage sites are already written against the
+//! real API.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; every sized type
+/// satisfies it.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserialization sub-module, mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Serialization sub-module, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

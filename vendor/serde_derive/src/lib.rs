@@ -1,0 +1,22 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The stub's traits carry blanket implementations, so the derives have
+//! nothing to generate — they exist so `#[derive(Serialize, Deserialize)]`
+//! (and `#[serde(...)]` helper attributes, should they appear) parse and
+//! expand cleanly.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing; the blanket impl in the
+/// `serde` stub already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing; the blanket impl in the
+/// `serde` stub already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
