@@ -1,9 +1,12 @@
 //! One Criterion group per paper experiment: `cargo bench -p rlnc-bench`
 //! regenerates every quantitative claim (at smoke scale) and reports how
-//! long each reproduction takes.
+//! long each reproduction takes. A final group runs the sweep engine's
+//! smoke scenario end to end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rlnc_experiments::{run_by_id, Scale};
+use rlnc_experiments::run_by_id;
+use rlnc_par::Scale;
+use rlnc_sweep::{Registry, SweepExecutor};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -60,6 +63,21 @@ fn bench_e10_equivalence(c: &mut Criterion) {
     bench_experiment(c, "e10", "message-passing-equivalence");
 }
 
+fn bench_sweep_smoke_scenario(c: &mut Criterion) {
+    let registry = Registry::builtin();
+    let spec = registry.get("smoke").expect("built-in smoke scenario").clone();
+    let mut group = c.benchmark_group("sweep-engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("smoke-scenario", |b| {
+        b.iter(|| {
+            let run = SweepExecutor::new(Scale::Smoke).run(black_box(&spec));
+            assert!(!run.records.is_empty());
+            black_box(run)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     bench_e1_amos,
@@ -71,6 +89,7 @@ criterion_group!(
     bench_e7_gluing,
     bench_e8_ramsey,
     bench_e9_slack_vs_det,
-    bench_e10_equivalence
+    bench_e10_equivalence,
+    bench_sweep_smoke_scenario
 );
 criterion_main!(experiments);

@@ -12,8 +12,14 @@ use rlnc_graph::{IdAssignment, NodeId};
 use rlnc_langs::amos::{selection_output, Amos, AmosGoldenDecider, GOLDEN_GUARANTEE};
 use rlnc_par::rng::SeedSequence;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let trials = scale.trials(20_000);
     let n = scale.size(64);
     let decider = AmosGoldenDecider::new();
@@ -29,7 +35,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
 
     let mut worst_yes = 1.0f64;
     let mut worst_no = 1.0f64;
-    let mut rng = SeedSequence::new(0xE1).rng();
+    let mut rng = SeedSequence::new(seed ^ 0xE1).rng();
 
     for family in [Family::Cycle, Family::Path, Family::Grid] {
         let graph = family.generate(n, &mut rng);
@@ -43,7 +49,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 .collect();
             let output = selection_output(nodes, &selected);
             let io = IoConfig::new(&graph, &input, &output);
-            let est = acceptance_probability(&decider, &io, &ids, trials, 0xE1 + selected_count as u64);
+            let est = acceptance_probability(&decider, &io, &ids, trials, seed ^ (0xE1 + selected_count as u64));
             let theory = GOLDEN_GUARANTEE.powi(selected_count as i32);
             let in_language = language.contains(&io);
             if in_language {

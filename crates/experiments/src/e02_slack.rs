@@ -14,8 +14,14 @@ use rlnc_langs::coloring::{improperly_colored_nodes, ProperColoring};
 use rlnc_langs::random_coloring::RandomColoring;
 use rlnc_par::trials::MonteCarlo;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let trials = scale.trials(400);
     let sizes = [scale.size(64), scale.size(256), scale.size(1024)];
     let epsilons = [0.60, 0.58, 0.52];
@@ -42,7 +48,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let input = Labeling::empty(n);
         let ids = IdAssignment::consecutive(&graph);
         let inst = Instance::new(&graph, &input, &ids);
-        let mc = MonteCarlo::new(trials).with_seed(0xE2 + n as u64);
+        let mc = MonteCarlo::new(trials).with_seed(seed ^ (0xE2 + n as u64));
         let improper = mc.summarize(|seed| {
             let out = Simulator::sequential().run_randomized(&algo, &inst, seed);
             improperly_colored_nodes(&lang, &IoConfig::new(&graph, &input, &out)) as f64 / n as f64
@@ -51,7 +57,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let mut eps_cells = Vec::new();
         for (i, &eps) in epsilons.iter().enumerate() {
             let relaxed = EpsilonSlack::new(ProperColoring::new(3), eps);
-            let est = Simulator::sequential().construction_success(&algo, &inst, &relaxed, trials, 0xE2 + i as u64);
+            let est = Simulator::sequential().construction_success(&algo, &inst, &relaxed, trials, seed ^ (0xE2 + i as u64));
             if i == 0 && n == *sizes.last().unwrap() {
                 largest_ring_eps_prob = est.p_hat;
             }

@@ -5,41 +5,29 @@
 //! `p ∈ (2^{-1/f}, 2^{-1/(f+1)})` and compares it with the theoretical
 //! `p^{|F|}`, checking the two inequalities `p^f > 1/2` (yes-side) and
 //! `1 − p^{f+1} > 1/2` (no-side) that the proof of Corollary 1 relies on.
+//!
+//! The `(f, planted)` grid runs on the `rlnc-sweep` engine (the
+//! `resilient-boundary` registry scenario), which also enforces the
+//! margin-aware per-row trial floor: near the resilience boundary the
+//! tested inequality can be razor-thin (`f = 8`, `|F| = 9` leaves
+//! `1/2 − p⁹ ≈ 0.016`), so each grid point gets enough trials to resolve
+//! its own margin at ≈4σ.
 
 use crate::report::{fmt_prob, ExperimentReport, Finding, Scale, Table};
-use rlnc_core::decision::acceptance_probability;
-use rlnc_core::prelude::*;
-use rlnc_core::resilient::{resilient_acceptance_probability, theoretical_acceptance, ResilientDecider};
-use rlnc_graph::generators::cycle;
-use rlnc_graph::{IdAssignment, NodeId};
-use rlnc_langs::coloring::ProperColoring;
+use rlnc_core::resilient::{resilient_acceptance_probability, theoretical_acceptance};
+use rlnc_sweep::registry::resilient_boundary_spec;
+use rlnc_sweep::workload::planted_bad_balls;
+use rlnc_sweep::SweepExecutor;
 
-/// Plants `conflicts` recolorings on a properly 2-colored even cycle,
-/// creating exactly `3 × conflicts` bad balls when the planted regions are
-/// far apart: each recolored node matches both of its neighbors, so the
-/// victim's ball and both neighbors' balls become bad.
-fn planted_configuration(n: usize, conflicts: usize) -> (rlnc_graph::Graph, Labeling, Labeling, usize) {
-    assert!(n % 2 == 0 && 6 * conflicts <= n);
-    let graph = cycle(n);
-    let input = Labeling::empty(n);
-    let mut output = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0 % 2) + 1));
-    for c in 0..conflicts {
-        // Recolor node 6c+1 to match node 6c+2 (both get color 1): the
-        // planted regions are at distance ≥ 4 apart so bad balls don't merge.
-        let victim = NodeId((6 * c + 1) as u32);
-        output.set(victim, Label::from_u64(1));
-    }
-    let lang = ProperColoring::new(2);
-    let x = input.clone();
-    let bad = rlnc_core::language::bad_ball_count(&lang, &IoConfig::new(&graph, &x, &output));
-    (graph, input, output, bad)
+/// Runs the experiment at the default master seed.
+pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> ExperimentReport {
-    let trials = scale.trials(10_000);
-    let n = scale.size(96).max(48) / 6 * 6; // multiple of 6, even
-    let resilience_values = [1usize, 2, 4, 8];
+/// Runs the experiment; `seed` perturbs every random stream.
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
+    let spec = resilient_boundary_spec();
+    let sweep = SweepExecutor::new(scale).with_seed(seed ^ 0xE5).run(&spec);
 
     let mut table = Table::new(&[
         "f",
@@ -54,47 +42,34 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut all_sides_ok = true;
     let mut all_match_theory = true;
 
-    for &f in &resilience_values {
+    for r in &sweep.records {
+        let f = r.param_a as usize;
         let p = resilient_acceptance_probability(f);
-        let decider = ResilientDecider::new(ProperColoring::new(2), f);
-        for planted in [0usize, 1, 2, 3] {
-            let conflicts = planted.min(n / 6);
-            let (graph, input, output, bad) = planted_configuration(n, conflicts);
-            let ids = IdAssignment::consecutive(&graph);
-            let io = IoConfig::new(&graph, &input, &output);
-            let theory = theoretical_acceptance(f, bad);
-            // Near the resilience boundary the tested inequality can be
-            // razor-thin (f = 8, |F| = 9 leaves 1/2 − p^9 ≈ 0.016), so give
-            // each row enough trials to resolve its own margin at ≈4σ; the
-            // scale-derived count is kept as the floor.
-            // The 0.015 floor also caps `needed` at ~17.8k trials per row.
-            let margin = (theory - 0.5).abs().max(0.015);
-            let needed = (0.25 * (4.0 / margin).powi(2)).ceil() as u64;
-            let row_trials = trials.max(needed);
-            let est = acceptance_probability(&decider, &io, &ids, row_trials, 0xE5 + (f * 10 + planted) as u64);
-            let yes_side = bad <= f;
-            let side_ok = if yes_side { est.p_hat > 0.5 } else { 1.0 - est.p_hat > 0.5 };
-            // The inequality is only *required* at |F| ≤ f (yes) or ≥ f+1 (no);
-            // measured probabilities must track p^{|F|} everywhere (up to the
-            // Monte-Carlo confidence width).
-            all_match_theory &= (est.p_hat - theory).abs() < est.half_width() + 0.03;
-            if yes_side || bad >= f + 1 {
-                all_sides_ok &= side_ok;
-            }
-            table.push_row(vec![
-                f.to_string(),
-                fmt_prob(p),
-                bad.to_string(),
-                if yes_side { "yes (|F| ≤ f)".into() } else { "no (|F| > f)".into() },
-                fmt_prob(est.p_hat),
-                fmt_prob(theory),
-                if yes_side {
-                    format!("accept > 1/2: {}", est.p_hat > 0.5)
-                } else {
-                    format!("reject > 1/2: {}", 1.0 - est.p_hat > 0.5)
-                },
-            ]);
+        let bad = planted_bad_balls(r.n as usize, r.param_b);
+        let theory = theoretical_acceptance(f, bad);
+        let yes_side = bad <= f;
+        let side_ok = if yes_side { r.p_hat > 0.5 } else { 1.0 - r.p_hat > 0.5 };
+        // The inequality is only *required* at |F| ≤ f (yes) or ≥ f+1 (no);
+        // measured probabilities must track p^{|F|} everywhere (up to the
+        // Monte-Carlo confidence width).
+        let half_width = (r.upper - r.lower) / 2.0;
+        all_match_theory &= (r.p_hat - theory).abs() < half_width + 0.03;
+        if yes_side || bad >= f + 1 {
+            all_sides_ok &= side_ok;
         }
+        table.push_row(vec![
+            f.to_string(),
+            fmt_prob(p),
+            bad.to_string(),
+            if yes_side { "yes (|F| ≤ f)".into() } else { "no (|F| > f)".into() },
+            fmt_prob(r.p_hat),
+            fmt_prob(theory),
+            if yes_side {
+                format!("accept > 1/2: {}", r.p_hat > 0.5)
+            } else {
+                format!("reject > 1/2: {}", 1.0 - r.p_hat > 0.5)
+            },
+        ]);
     }
 
     let findings = vec![
@@ -127,13 +102,15 @@ mod tests {
     fn e5_resilient_decider_guarantee() {
         let report = run(Scale::Smoke);
         assert!(report.all_consistent(), "findings: {:?}", report.findings);
+        // The sweep grid covers f ∈ {1,2,4,8} × planted ∈ {0..3}.
+        assert_eq!(report.table.rows.len(), 16);
     }
 
     #[test]
-    fn planted_configuration_counts_bad_balls() {
-        let (_, _, _, bad) = planted_configuration(48, 0);
-        assert_eq!(bad, 0);
-        let (_, _, _, bad) = planted_configuration(48, 2);
-        assert_eq!(bad, 6, "3 bad balls per planted conflict");
+    fn e5_is_reproducible_and_seed_sensitive() {
+        let a = run_seeded(Scale::Smoke, 7);
+        let b = run_seeded(Scale::Smoke, 7);
+        assert_eq!(a.table.rows, b.table.rows);
+        assert!(a.all_consistent(), "findings: {:?}", a.findings);
     }
 }

@@ -6,51 +6,61 @@
 //! `ν` from Eq. (3) it drops below `r·p`. We instantiate the constructor as
 //! a fault-injected correct colorer with measured β, use a one-sided
 //! per-bad-ball rejecting decider with parameter p, and measure the decay.
+//!
+//! After β is measured, the ν-grid runs on the `rlnc-sweep` engine (the
+//! `boosting-decay` registry scenario, truncated to the Eq.-(3) ν*).
 
 use crate::report::{fmt_prob, ExperimentReport, Finding, Scale, Table};
-use rlnc_core::algorithm::Coins;
-use rlnc_core::decision::FnRandomizedDecider;
-use rlnc_core::derand::boosting::{boosting_bound, boosting_repetitions, disjoint_union_acceptance};
+use rlnc_core::derand::boosting::{boosting_bound, boosting_repetitions};
 use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstanceSearch};
 use rlnc_core::prelude::*;
 use rlnc_langs::coloring::{GlobalGreedyColoring, ProperColoring};
 use rlnc_langs::faulty::FaultyConstructor;
-use rand::Rng;
+use rlnc_sweep::registry::boosting_spec;
+use rlnc_sweep::{SweepExecutor, Workload};
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
-    let trials = scale.trials(3_000);
-    let cycle_size = 12usize;
-    let per_node_fault = 0.05f64;
-    let p = 0.8f64;
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream.
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let r = 0.9f64; // the success probability the hypothetical constructor claims
+
+    // The grid (and the constructor/decider parameters) come from the
+    // shared scenario; β is measured on the same constructor up front,
+    // with the scenario's own trial budget so its confidence width matches
+    // the sweep's statistical resolution.
+    let mut spec = boosting_spec(1);
+    let trials = scale.trials(spec.base_trials);
+    let Workload::BoostingUnion {
+        cycle_size,
+        per_node_fault,
+        colors,
+        decider_p: p,
+    } = spec.workload
+    else {
+        unreachable!("boosting_spec always carries a BoostingUnion workload");
+    };
 
     // Constructor: correct greedy coloring with per-node corruption.
     let constructor = FaultyConstructor::new(
-        GlobalGreedyColoring::new(cycle_size as u32, 3),
+        GlobalGreedyColoring::new(cycle_size as u32, colors),
         per_node_fault,
         Label::from_u64(0),
     );
-    // Decider: accept at properly-colored centers, reject at bad centers
-    // with probability p (one-sided error with guarantee p on no-instances).
-    let decider = FnRandomizedDecider::new(1, "reject-bad-balls", move |view: &View, coins: &Coins| {
-        let mine = view.output(view.center_local());
-        let in_range = mine.as_u64() >= 1 && mine.as_u64() <= 3;
-        let conflict = view.center_neighbors().iter().any(|&i| view.output(i) == mine);
-        if in_range && !conflict {
-            true
-        } else {
-            !coins.for_center(view).random_bool(p)
-        }
-    });
-
-    let language = ProperColoring::new(3);
+    let language = ProperColoring::new(colors);
     let hard = consecutive_cycle_candidates([cycle_size]);
     let search = HardInstanceSearch::new(&language);
     let beta = search
-        .failure_probability(&constructor, &hard[0], trials, 0xE6)
+        .failure_probability(&constructor, &hard[0], trials, seed ^ 0xE6)
         .p_hat;
     let nu_star = boosting_repetitions(r, p, beta);
+    let max_nu = nu_star.min(12).max(4);
+    spec = boosting_spec(max_nu as u64);
+
+    let sweep = SweepExecutor::new(scale).with_seed(seed ^ 0xE6).run(&spec);
 
     let mut table = Table::new(&[
         "ν (copies)",
@@ -62,18 +72,17 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut monotone = true;
     let mut previous = 1.0f64;
     let mut bound_respected = true;
-    let max_nu = nu_star.min(12).max(4);
-    for nu in 1..=max_nu {
-        let est = disjoint_union_acceptance(&constructor, &decider, &hard, nu, trials, 0xE6 + nu as u64);
+    for record in &sweep.records {
+        let nu = record.param_a as usize;
         let bound = boosting_bound(p, beta, nu);
-        monotone &= est.p_hat <= previous + 0.05;
-        bound_respected &= est.p_hat <= bound + 0.05;
-        previous = est.p_hat;
+        monotone &= record.p_hat <= previous + 0.05;
+        bound_respected &= record.p_hat <= bound + 0.05;
+        previous = record.p_hat;
         table.push_row(vec![
             nu.to_string(),
-            fmt_prob(est.p_hat),
+            fmt_prob(record.p_hat),
             fmt_prob(bound),
-            (est.p_hat < r * p).to_string(),
+            (record.p_hat < r * p).to_string(),
         ]);
     }
     let final_acceptance = previous;

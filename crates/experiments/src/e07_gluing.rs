@@ -8,8 +8,6 @@
 //! number ν′ of glued instances, against the `(1 − β(1−p)/µ)^{ν′}` shape.
 
 use crate::report::{fmt_prob, ExperimentReport, Finding, Scale, Table};
-use rlnc_core::algorithm::Coins;
-use rlnc_core::decision::FnRandomizedDecider;
 use rlnc_core::derand::gluing::{
     anchor_candidates, anchor_count, claim5_bound, gluing_repetitions, separation_distance,
     GluingExperiment,
@@ -19,10 +17,16 @@ use rlnc_core::prelude::*;
 use rlnc_graph::traversal::{distance, is_connected};
 use rlnc_langs::coloring::{GlobalGreedyColoring, ProperColoring};
 use rlnc_langs::faulty::FaultyConstructor;
-use rand::Rng;
+use rlnc_sweep::workload::RejectBadBallsDecider;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let trials = scale.trials(1_500);
     let p = 0.75f64;
     let r = 0.9f64;
@@ -39,21 +43,12 @@ pub fn run(scale: Scale) -> ExperimentReport {
         per_node_fault,
         Label::from_u64(0),
     );
-    let decider = FnRandomizedDecider::new(1, "reject-bad-balls", move |view: &View, coins: &Coins| {
-        let mine = view.output(view.center_local());
-        let in_range = mine.as_u64() >= 1 && mine.as_u64() <= 3;
-        let conflict = view.center_neighbors().iter().any(|&i| view.output(i) == mine);
-        if in_range && !conflict {
-            true
-        } else {
-            !coins.for_center(view).random_bool(p)
-        }
-    });
+    let decider = RejectBadBallsDecider::new(3, p);
 
     let language = ProperColoring::new(3);
     let search = HardInstanceSearch::new(&language);
     let prototype = consecutive_cycle_candidates([cycle_size]).remove(0);
-    let beta = search.failure_probability(&constructor, &prototype, trials, 0xE7).p_hat;
+    let beta = search.failure_probability(&constructor, &prototype, trials, seed ^ 0xE7).p_hat;
     let nu_prime_star = gluing_repetitions(r, p, beta);
 
     // Structural checks on one gluing of 3 parts.
@@ -97,8 +92,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
             .map(|h| anchor_candidates(h, t, t_prime, p)[0])
             .collect();
         let experiment = GluingExperiment::build(parts, anchors, t, t_prime);
-        let far = experiment.acceptance_far_from_all_anchors(&constructor, &decider, trials, 0xE7 + nu as u64);
-        let full = experiment.acceptance(&constructor, &decider, trials, 0x1E7 + nu as u64);
+        let far = experiment.acceptance_far_from_all_anchors(&constructor, &decider, trials, seed ^ (0xE7 + nu as u64));
+        let full = experiment.acceptance(&constructor, &decider, trials, seed ^ (0x1E7 + nu as u64));
         let bound = claim5_bound(beta, p, mu).powi(nu as i32);
         monotone &= far.p_hat <= previous_far + 0.05;
         previous_far = far.p_hat;

@@ -14,8 +14,14 @@ use rlnc_core::prelude::*;
 use rlnc_graph::generators::cycle;
 use rlnc_graph::IdAssignment;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let n = scale.size(32);
     let universe_size = scale.size(256) as u64;
     // The refinement's per-round sample count controls how reliably
@@ -63,7 +69,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let inner_invariant = check_order_invariance(algo, &graph, &input, &ids, &map_refs);
         let templates = collect_templates(&[Instance::new(&graph, &input, &ids)], radius);
         let universe: Vec<u64> = (1..=universe_size).collect();
-        let refined = consistent_id_set(algo, &templates, &universe, samples, 0xE8);
+        let refined = consistent_id_set(algo, &templates, &universe, samples, seed ^ 0xE8);
         let lift = OrderInvariantLift::new(algo, refined.clone());
         let lift_invariant = check_order_invariance(&lift, &graph, &input, &ids, &map_refs);
         all_lifts_invariant &= lift_invariant;

@@ -17,8 +17,14 @@ use rlnc_graph::IdAssignment;
 use rlnc_langs::coloring::{improperly_colored_nodes, ProperColoring, RankColoring};
 use rlnc_langs::random_coloring::RandomColoring;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let n = scale.size(256);
     let trials = scale.trials(400);
     let epsilon = 0.62; // above the 5/9 expected improper fraction of the random coloring
@@ -41,8 +47,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Randomized zero-round coloring.
     let random = RandomColoring::new(3);
     let random_success =
-        Simulator::sequential().construction_success(&random, &inst, &relaxed, trials, 0xE9);
-    let random_improper = rlnc_par::trials::MonteCarlo::new(trials).with_seed(0x1E9).summarize(|seed| {
+        Simulator::sequential().construction_success(&random, &inst, &relaxed, trials, seed ^ 0xE9);
+    let random_improper = rlnc_par::trials::MonteCarlo::new(trials).with_seed(seed ^ 0x1E9).summarize(|seed| {
         let out = Simulator::sequential().run_randomized(&random, &inst, seed);
         improperly_colored_nodes(&lang, &IoConfig::new(&graph, &input, &out)) as f64 / n as f64
     });

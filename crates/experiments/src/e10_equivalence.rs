@@ -14,10 +14,16 @@ use rlnc_graph::IdAssignment;
 use rlnc_langs::coloring::{GlobalGreedyColoring, RankColoring};
 use rlnc_par::rng::SeedSequence;
 
-/// Runs the experiment.
+/// Runs the experiment at the default master seed.
 pub fn run(scale: Scale) -> ExperimentReport {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment; `seed` perturbs every random stream (`0`
+/// reproduces the historical default streams).
+pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let n = scale.size(48);
-    let mut rng = SeedSequence::new(0xE10).rng();
+    let mut rng = SeedSequence::new(seed ^ 0xE10).rng();
 
     let algorithms: Vec<(String, Box<dyn LocalAlgorithm>)> = vec![
         ("rank-coloring(t=1)".into(), Box::new(RankColoring::new(1, 3))),

@@ -40,24 +40,84 @@ pub mod report;
 
 pub use report::{ExperimentReport, Finding, Scale, Table};
 
+/// One entry of the [`EXPERIMENTS`] runner table: identifier, one-line
+/// description, and the seeded runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Canonical lower-case identifier (`"e1"`, ..., `"e10"`).
+    pub id: &'static str,
+    /// One-line description (shown by `rlnc-experiments --list`).
+    pub description: &'static str,
+    /// The runner; the seed perturbs every random stream (`0` is the
+    /// historical default).
+    pub run: fn(Scale, u64) -> ExperimentReport,
+}
+
 /// The experiment runners in index order — the single source of truth for
 /// which experiments exist (experiment `eN` is `EXPERIMENTS[N - 1]`).
-pub const EXPERIMENTS: [fn(Scale) -> ExperimentReport; 10] = [
-    e01_amos::run,
-    e02_slack::run,
-    e03_cole_vishkin::run,
-    e04_order_invariant::run,
-    e05_resilient_decider::run,
-    e06_boosting::run,
-    e07_gluing::run,
-    e08_ramsey::run,
-    e09_slack_vs_det::run,
-    e10_equivalence::run,
+pub const EXPERIMENTS: [Experiment; 10] = [
+    Experiment {
+        id: "e1",
+        description: "amos golden-ratio zero-round decider (§2.3.1)",
+        run: e01_amos::run_seeded,
+    },
+    Experiment {
+        id: "e2",
+        description: "ε-slack relaxation via the zero-round random coloring (§1.1)",
+        run: e02_slack::run_seeded,
+    },
+    Experiment {
+        id: "e3",
+        description: "Cole–Vishkin 3-colors oriented rings in O(log* n) rounds (§1.1)",
+        run: e03_cole_vishkin::run_seeded,
+    },
+    Experiment {
+        id: "e4",
+        description: "order-invariant algorithms are monochromatic on consecutive-ID cycles (§4)",
+        run: e04_order_invariant::run_seeded,
+    },
+    Experiment {
+        id: "e5",
+        description: "the f-resilient decider of Corollary 1 has guarantee > 1/2 (§4)",
+        run: e05_resilient_decider::run_seeded,
+    },
+    Experiment {
+        id: "e6",
+        description: "disjoint-union boosting: acceptance ≤ (1−βp)^ν (Claim 3)",
+        run: e06_boosting::run_seeded,
+    },
+    Experiment {
+        id: "e7",
+        description: "gluing: connected, degree ≤ k, acceptance decays with ν′ (Theorem 1)",
+        run: e07_gluing::run_seeded,
+    },
+    Experiment {
+        id: "e8",
+        description: "Ramsey lift: consistent ID sets force order-invariance (Claim 1)",
+        run: e08_ramsey::run_seeded,
+    },
+    Experiment {
+        id: "e9",
+        description: "ε-slack: randomization helps, constant-round determinism does not (§5)",
+        run: e09_slack_vs_det::run_seeded,
+    },
+    Experiment {
+        id: "e10",
+        description: "message-passing execution ≡ ball-view execution (§2.1)",
+        run: e10_equivalence::run_seeded,
+    },
 ];
 
-/// Runs every experiment at the given scale, in index order.
+/// Runs every experiment at the given scale, in index order, with the
+/// default seed.
 pub fn run_all(scale: Scale) -> Vec<ExperimentReport> {
-    EXPERIMENTS.iter().map(|run| run(scale)).collect()
+    run_all_seeded(scale, 0)
+}
+
+/// Runs every experiment at the given scale and master seed, in index
+/// order.
+pub fn run_all_seeded(scale: Scale, seed: u64) -> Vec<ExperimentReport> {
+    EXPERIMENTS.iter().map(|e| (e.run)(scale, seed)).collect()
 }
 
 /// Parses an experiment identifier (`"e1"`, `"E07"`, `"7"`) into its
@@ -68,9 +128,16 @@ pub fn parse_experiment_id(id: &str) -> Option<usize> {
     (1..=EXPERIMENTS.len()).contains(&number).then_some(number)
 }
 
-/// Runs a single experiment by its identifier (e.g. `"e1"`, `"E07"`).
+/// Runs a single experiment by its identifier (e.g. `"e1"`, `"E07"`) with
+/// the default seed.
 pub fn run_by_id(id: &str, scale: Scale) -> Option<ExperimentReport> {
-    Some(EXPERIMENTS[parse_experiment_id(id)? - 1](scale))
+    run_by_id_seeded(id, scale, 0)
+}
+
+/// Runs a single experiment by its identifier at an explicit master seed.
+pub fn run_by_id_seeded(id: &str, scale: Scale, seed: u64) -> Option<ExperimentReport> {
+    let experiment = EXPERIMENTS[parse_experiment_id(id)? - 1];
+    Some((experiment.run)(scale, seed))
 }
 
 #[cfg(test)]
@@ -84,6 +151,26 @@ mod tests {
         assert!(run_by_id("7", Scale::Smoke).is_some());
         assert!(run_by_id("e99", Scale::Smoke).is_none());
         assert!(run_by_id("nonsense", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn experiments_table_ids_and_descriptions_are_well_formed() {
+        for (i, e) in EXPERIMENTS.iter().enumerate() {
+            assert_eq!(e.id, format!("e{}", i + 1));
+            assert!(!e.description.is_empty());
+            assert_eq!(parse_experiment_id(e.id), Some(i + 1));
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = run_by_id_seeded("e1", Scale::Smoke, 42).unwrap();
+        let b = run_by_id_seeded("e1", Scale::Smoke, 42).unwrap();
+        assert_eq!(a.table.rows, b.table.rows);
+        // Seed 0 is the documented default.
+        let default_run = run_by_id("e1", Scale::Smoke).unwrap();
+        let explicit_zero = run_by_id_seeded("e1", Scale::Smoke, 0).unwrap();
+        assert_eq!(default_run.table.rows, explicit_zero.table.rows);
     }
 
     #[test]

@@ -1,18 +1,63 @@
-//! Command-line driver for the experiment harness.
+//! Command-line driver for the experiment harness and the sweep engine.
 //!
 //! ```text
-//! rlnc-experiments                  # run every experiment at standard scale
-//! rlnc-experiments --scale full     # tighter confidence intervals
-//! rlnc-experiments --only e5 e7     # a subset
-//! rlnc-experiments --markdown out.md# also write a markdown report
+//! rlnc-experiments                     # run every experiment at standard scale
+//! rlnc-experiments --list              # list experiment ids + descriptions
+//! rlnc-experiments --scale full        # tighter confidence intervals
+//! rlnc-experiments --seed 7 --only e5  # reseeded subset
+//! rlnc-experiments --markdown out.md   # also write a markdown report
+//!
+//! rlnc-experiments sweep --list-scenarios
+//! rlnc-experiments sweep --scenario smoke --scale smoke --out sweep.json
+//! rlnc-experiments sweep --scenario slack-topologies --csv sweep.csv
+//! rlnc-experiments sweep --check sweep.json   # validate an exported file
 //! ```
 
-use rlnc_experiments::{parse_experiment_id, run_all, run_by_id, ExperimentReport, Scale};
+use rlnc_experiments::{parse_experiment_id, run_all_seeded, run_by_id_seeded, ExperimentReport, Scale, EXPERIMENTS};
+use rlnc_sweep::{emit, Registry, SweepExecutor, DEFAULT_SWEEP_SEED};
 use std::io::Write;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn parse_seed(raw: Option<&String>, flag: &str) -> u64 {
+    let Some(raw) = raw else {
+        usage_error(&format!("{flag} requires an unsigned 64-bit integer"));
+    };
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse::<u64>()
+    };
+    match parsed {
+        Ok(seed) => seed,
+        Err(_) => usage_error(&format!("{flag}: '{raw}' is not an unsigned 64-bit integer")),
+    }
+}
+
+fn parse_scale(raw: Option<&String>) -> Scale {
+    match raw.map(String::as_str).map(str::parse::<Scale>) {
+        Some(Ok(scale)) => scale,
+        Some(Err(e)) => usage_error(&format!("--scale: {e}")),
+        None => usage_error("--scale requires one of smoke|standard|full"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..]);
+        return;
+    }
+    experiments_main(&args);
+}
+
+/// The classic E1–E10 driver.
+fn experiments_main(args: &[String]) {
     let mut scale = Scale::Standard;
+    let mut seed = 0u64;
     let mut only: Vec<String> = Vec::new();
     let mut markdown_path: Option<String> = None;
 
@@ -21,18 +66,11 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).map(String::as_str) {
-                    Some("smoke") => Scale::Smoke,
-                    Some("standard") => Scale::Standard,
-                    Some("full") => Scale::Full,
-                    other => {
-                        eprintln!(
-                            "--scale requires one of smoke|standard|full, got: {}",
-                            other.unwrap_or("nothing")
-                        );
-                        std::process::exit(2);
-                    }
-                };
+                scale = parse_scale(args.get(i));
+            }
+            "--seed" => {
+                i += 1;
+                seed = parse_seed(args.get(i), "--seed");
             }
             "--only" => {
                 i += 1;
@@ -42,8 +80,7 @@ fn main() {
                     i += 1;
                 }
                 if only.len() == before {
-                    eprintln!("--only requires at least one experiment id (e.g. --only e1 e10)");
-                    std::process::exit(2);
+                    usage_error("--only requires at least one experiment id (e.g. --only e1 e10)");
                 }
                 continue;
             }
@@ -51,20 +88,24 @@ fn main() {
                 i += 1;
                 markdown_path = match args.get(i) {
                     Some(path) => Some(path.clone()),
-                    None => {
-                        eprintln!("--markdown requires a file path");
-                        std::process::exit(2);
-                    }
+                    None => usage_error("--markdown requires a file path"),
                 };
             }
-            "--help" | "-h" => {
-                eprintln!("usage: rlnc-experiments [--scale smoke|standard|full] [--only e1 e2 ...] [--markdown FILE]");
+            "--list" => {
+                for e in &EXPERIMENTS {
+                    println!("{:>4}  {}", e.id, e.description);
+                }
                 return;
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: rlnc-experiments [--scale smoke|standard|full] [--seed N] \
+                     [--only e1 e2 ...] [--markdown FILE] [--list]\n\
+                     \x20      rlnc-experiments sweep --help"
+                );
+                return;
             }
+            other => usage_error(&format!("unknown argument: {other}")),
         }
         i += 1;
     }
@@ -80,9 +121,9 @@ fn main() {
     }
 
     let reports: Vec<ExperimentReport> = if only.is_empty() {
-        run_all(scale)
+        run_all_seeded(scale, seed)
     } else {
-        only.iter().filter_map(|id| run_by_id(id, scale)).collect()
+        only.iter().filter_map(|id| run_by_id_seeded(id, scale, seed)).collect()
     };
 
     let mut all_consistent = true;
@@ -95,8 +136,7 @@ fn main() {
     }
 
     if let Some(path) = markdown_path {
-        let mut file = std::fs::File::create(&path).expect("cannot create markdown output file");
-        file.write_all(combined.as_bytes()).expect("cannot write markdown output");
+        write_file(&path, &combined);
         eprintln!("wrote {path}");
     }
 
@@ -104,4 +144,154 @@ fn main() {
         eprintln!("WARNING: at least one finding did not match the paper's claim");
         std::process::exit(1);
     }
+}
+
+/// The `sweep` subcommand: run, list, or validate scenario sweeps.
+fn sweep_main(args: &[String]) {
+    let mut scale = Scale::Standard;
+    let mut seed = DEFAULT_SWEEP_SEED;
+    let mut scenario: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut markdown_path: Option<String> = None;
+    let mut resume = false;
+
+    let registry = Registry::builtin();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = parse_scale(args.get(i));
+            }
+            "--seed" => {
+                i += 1;
+                seed = parse_seed(args.get(i), "--seed");
+            }
+            "--scenario" => {
+                i += 1;
+                scenario = match args.get(i) {
+                    Some(name) => Some(name.clone()),
+                    None => usage_error("--scenario requires a scenario name (see --list-scenarios)"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--out requires a file path"),
+                };
+            }
+            "--csv" => {
+                i += 1;
+                csv_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--csv requires a file path"),
+                };
+            }
+            "--markdown" => {
+                i += 1;
+                markdown_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--markdown requires a file path"),
+                };
+            }
+            "--resume" => resume = true,
+            "--list-scenarios" => {
+                for spec in registry.iter() {
+                    println!("{:<20}  {}", spec.name, spec.description);
+                }
+                return;
+            }
+            "--check" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    usage_error("--check requires a file path");
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match emit::from_json(&text) {
+                    Ok(run) => {
+                        println!(
+                            "{path}: OK — scenario '{}', {} records at scale {}",
+                            run.scenario,
+                            run.records.len(),
+                            run.scale
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid sweep export: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: rlnc-experiments sweep --scenario NAME [--scale smoke|standard|full] \
+                     [--seed N] [--out FILE.json] [--csv FILE.csv] [--markdown FILE.md] [--resume]\n\
+                     \x20      rlnc-experiments sweep --list-scenarios\n\
+                     \x20      rlnc-experiments sweep --check FILE.json"
+                );
+                return;
+            }
+            other => usage_error(&format!("unknown sweep argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let Some(name) = scenario else {
+        usage_error("sweep requires --scenario NAME (or --list-scenarios / --check FILE)");
+    };
+    let Some(spec) = registry.get(&name) else {
+        eprintln!("unknown scenario: {name}");
+        eprintln!("available scenarios: {}", registry.names().join(", "));
+        std::process::exit(2);
+    };
+
+    let executor = SweepExecutor::new(scale).with_seed(seed);
+    if resume && out_path.is_none() {
+        usage_error("--resume requires --out FILE (the export to resume from)");
+    }
+    let existing = match (&out_path, resume) {
+        (Some(path), true) => match std::fs::read_to_string(path) {
+            Ok(text) => match emit::from_json(&text) {
+                Ok(previous) => previous.records,
+                Err(e) => {
+                    eprintln!("ignoring unparsable previous export {path}: {e}");
+                    Vec::new()
+                }
+            },
+            Err(_) => Vec::new(), // nothing to resume from
+        },
+        _ => Vec::new(),
+    };
+    let run = executor.resume(spec, &existing);
+
+    print!("{}", run.to_markdown());
+    if let Some(path) = out_path {
+        write_file(&path, &emit::to_json(&run));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        write_file(&path, &emit::to_csv(&run));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = markdown_path {
+        write_file(&path, &run.to_markdown());
+        eprintln!("wrote {path}");
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    let mut file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create output file {path}: {e}"));
+    file.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write output file {path}: {e}"));
 }

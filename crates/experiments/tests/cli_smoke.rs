@@ -60,6 +60,142 @@ fn cli_binary_rejects_unknown_arguments() {
 }
 
 #[test]
+fn cli_list_prints_every_experiment_and_exits_zero() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let output = std::process::Command::new(exe)
+        .arg("--list")
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for e in rlnc_experiments::EXPERIMENTS {
+        assert!(stdout.contains(e.id), "--list missing {}:\n{stdout}", e.id);
+        assert!(
+            stdout.contains(e.description),
+            "--list missing description of {}:\n{stdout}",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn cli_seed_flag_is_accepted_and_reproducible() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let run = |seed: &str| {
+        let output = std::process::Command::new(exe)
+            .args(["--scale", "smoke", "--seed", seed, "--only", "e1"])
+            .output()
+            .expect("failed to spawn rlnc-experiments");
+        assert!(
+            output.status.success(),
+            "seeded run failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let a = run("7");
+    let b = run("7");
+    assert_eq!(a, b, "same seed must reproduce the same report");
+    // Hex spelling is accepted too.
+    let h = run("0x7");
+    assert_eq!(a, h);
+    // A bad seed is a usage error.
+    let output = std::process::Command::new(exe)
+        .args(["--seed", "not-a-number"])
+        .output()
+        .expect("failed to spawn rlnc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn sweep_subcommand_runs_exports_and_is_byte_reproducible() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let tmp = std::env::temp_dir();
+    let json_path = tmp.join(format!("rlnc-sweep-smoke-{}.json", std::process::id()));
+    let csv_path = tmp.join(format!("rlnc-sweep-smoke-{}.csv", std::process::id()));
+    let run_sweep = || {
+        let output = std::process::Command::new(exe)
+            .args(["sweep", "--scenario", "smoke", "--scale", "smoke", "--seed", "11"])
+            .arg("--out")
+            .arg(&json_path)
+            .arg("--csv")
+            .arg(&csv_path)
+            .output()
+            .expect("failed to spawn rlnc-experiments sweep");
+        assert!(
+            output.status.success(),
+            "sweep failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let stdout = run_sweep();
+    assert!(stdout.contains("sweep `smoke`"), "stdout:\n{stdout}");
+    let json_a = std::fs::read_to_string(&json_path).expect("JSON export written");
+    let csv = std::fs::read_to_string(&csv_path).expect("CSV export written");
+    assert!(csv.starts_with("scenario,point,family,"));
+    assert!(csv.lines().count() > 1);
+
+    // The export must parse back (the --check mode CI uses).
+    let parsed = rlnc_sweep::emit::from_json(&json_a).expect("export parses back");
+    assert_eq!(parsed.scenario, "smoke");
+    let check = std::process::Command::new(exe)
+        .args(["sweep", "--check"])
+        .arg(&json_path)
+        .output()
+        .expect("failed to spawn sweep --check");
+    assert!(check.status.success());
+    assert!(String::from_utf8_lossy(&check.stdout).contains("OK"));
+
+    // Re-running with the same seed produces byte-identical records.
+    let _ = run_sweep();
+    let json_b = std::fs::read_to_string(&json_path).unwrap();
+    assert_eq!(json_a, json_b, "same-seed sweep exports must be byte-identical");
+
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_file(&csv_path);
+}
+
+#[test]
+fn sweep_subcommand_lists_scenarios_and_rejects_unknown_ones() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let output = std::process::Command::new(exe)
+        .args(["sweep", "--list-scenarios"])
+        .output()
+        .expect("failed to spawn rlnc-experiments sweep");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["smoke", "slack-ring", "slack-topologies", "resilient-boundary", "boosting-decay"] {
+        assert!(stdout.contains(name), "--list-scenarios missing {name}:\n{stdout}");
+    }
+
+    let output = std::process::Command::new(exe)
+        .args(["sweep", "--scenario", "no-such-scenario"])
+        .output()
+        .expect("failed to spawn rlnc-experiments sweep");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown scenario"));
+
+    // Bare `sweep` without a scenario is a usage error.
+    let output = std::process::Command::new(exe)
+        .arg("sweep")
+        .output()
+        .expect("failed to spawn rlnc-experiments sweep");
+    assert_eq!(output.status.code(), Some(2));
+
+    // --check on garbage exits 1.
+    let garbage = std::env::temp_dir().join(format!("rlnc-garbage-{}.json", std::process::id()));
+    std::fs::write(&garbage, "not json at all").unwrap();
+    let output = std::process::Command::new(exe)
+        .args(["sweep", "--check"])
+        .arg(&garbage)
+        .output()
+        .expect("failed to spawn sweep --check");
+    assert_eq!(output.status.code(), Some(1));
+    let _ = std::fs::remove_file(&garbage);
+}
+
+#[test]
 fn cli_binary_rejects_unknown_experiment_ids_and_bad_scales() {
     let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
     // A typo'd id must fail loudly instead of running nothing and exiting 0.

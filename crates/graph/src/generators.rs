@@ -94,6 +94,58 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     b.build()
 }
 
+/// The circulant graph `C_n(offsets)`: node `i` is adjacent to
+/// `(i ± o) mod n` for every offset `o`. With offsets `{1}` this is the
+/// cycle; with `{1, 2}` the squared cycle (4-regular) — a deterministic
+/// bounded-degree family the sweep scenarios use as a ring-like topology
+/// with chords.
+///
+/// # Panics
+/// Panics if `n < 3`, if `offsets` is empty, if an offset is `0` or
+/// ≥ `n`, or if `gcd(n, offsets...) != 1` (which would disconnect the
+/// graph — all generators here promise connected outputs).
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    assert!(n >= 3, "a circulant graph needs at least 3 nodes, got {n}");
+    assert!(!offsets.is_empty(), "need at least one offset");
+    let mut g = n;
+    for &o in offsets {
+        assert!(o >= 1 && o < n, "offset {o} out of range 1..{n}");
+        let (mut a, mut b) = (g, o);
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        g = a;
+    }
+    assert!(g == 1, "gcd(n, offsets) = {g} != 1 would disconnect the circulant graph");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for &o in offsets {
+            let w = (v + o) % n;
+            if !b.has_edge(v, w) {
+                b.add_edge(v, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The prism (circular ladder) `CL_n`: two concentric `n`-cycles joined by
+/// rungs. 3-regular on `2n` nodes — a deterministic counterpart to the
+/// random cubic family.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn prism(n: usize) -> Graph {
+    assert!(n >= 3, "a prism needs at least 3 nodes per cycle, got {n}");
+    let mut b = GraphBuilder::new(2 * n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n); // outer cycle
+        b.add_edge(n + i, n + (i + 1) % n); // inner cycle
+        b.add_edge(i, n + i); // rung
+    }
+    b.build()
+}
+
 /// The `d`-dimensional hypercube on `2^d` nodes (`d`-regular).
 pub fn hypercube(d: u32) -> Graph {
     let n = 1usize << d;
@@ -263,17 +315,29 @@ pub enum Family {
     Cubic,
     /// `random_bounded_degree(n, 4, 0.3, rng)`
     BoundedDegree4,
+    /// `torus(√n, √n)` (rounded, 4-regular) — a wrap-around topology the
+    /// paper's ring-centric experiments never touch.
+    Torus,
+    /// `random_regular(n, 4, rng)` — the random `d`-regular family at
+    /// degree 4.
+    RandomRegular4,
+    /// `circulant(n, {1, 2})` — the squared cycle, a deterministic
+    /// 4-regular ring with chords.
+    Circulant2,
 }
 
 impl Family {
     /// All families, for exhaustive sweeps.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 9] = [
         Family::Cycle,
         Family::Path,
         Family::Grid,
         Family::BinaryTree,
         Family::Cubic,
         Family::BoundedDegree4,
+        Family::Torus,
+        Family::RandomRegular4,
+        Family::Circulant2,
     ];
 
     /// Human-readable name used in experiment tables.
@@ -285,7 +349,26 @@ impl Family {
             Family::BinaryTree => "binary-tree",
             Family::Cubic => "random-3-regular",
             Family::BoundedDegree4 => "random-maxdeg-4",
+            Family::Torus => "torus",
+            Family::RandomRegular4 => "random-4-regular",
+            Family::Circulant2 => "circulant-1-2",
         }
+    }
+
+    /// Parses the spelling produced by [`Family::name`].
+    pub fn parse(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Returns `true` if [`Family::generate`] draws from the RNG (so each
+    /// call yields a different member); deterministic families always
+    /// return the same graph for a given `n` and can be built once and
+    /// reused across Monte-Carlo trials.
+    pub fn is_randomized(&self) -> bool {
+        matches!(
+            self,
+            Family::Cubic | Family::BoundedDegree4 | Family::RandomRegular4
+        )
     }
 
     /// Maximum degree guaranteed by this family.
@@ -293,7 +376,11 @@ impl Family {
         match self {
             Family::Cycle | Family::Path => 2,
             Family::BinaryTree | Family::Cubic => 3,
-            Family::Grid | Family::BoundedDegree4 => 4,
+            Family::Grid
+            | Family::BoundedDegree4
+            | Family::Torus
+            | Family::RandomRegular4
+            | Family::Circulant2 => 4,
         }
     }
 
@@ -312,6 +399,12 @@ impl Family {
                 random_regular(n, 3, rng)
             }
             Family::BoundedDegree4 => random_bounded_degree(n.max(2), 4, 0.3, rng),
+            Family::Torus => {
+                let side = (n as f64).sqrt().round().max(3.0) as usize;
+                torus(side, side)
+            }
+            Family::RandomRegular4 => random_regular(n.max(5), 4, rng),
+            Family::Circulant2 => circulant(n.max(5), &[1, 2]),
         }
     }
 }
@@ -420,6 +513,33 @@ mod tests {
     }
 
     #[test]
+    fn circulant_squared_cycle_is_4_regular() {
+        let g = circulant(11, &[1, 2]);
+        assert_eq!(g.node_count(), 11);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        // Offset n/2 contributes a single matching chord (degree 3 total).
+        let m = circulant(8, &[1, 4]);
+        assert!(m.nodes().all(|v| m.degree(v) == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnect")]
+    fn circulant_rejects_disconnecting_offsets() {
+        let _ = circulant(9, &[3, 6]);
+    }
+
+    #[test]
+    fn prism_is_cubic_and_connected() {
+        let g = prism(7);
+        assert_eq!(g.node_count(), 14);
+        assert_eq!(g.edge_count(), 21);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
     fn families_generate_connected_graphs_within_degree_bound() {
         let mut rng = SmallRng::seed_from_u64(5);
         for family in Family::ALL {
@@ -430,6 +550,21 @@ mod tests {
                 "{} exceeds degree bound",
                 family.name()
             );
+            assert_eq!(Family::parse(family.name()), Some(family));
+            if !family.is_randomized() {
+                // Deterministic families must reproduce the same edge set.
+                let mut rng2 = SmallRng::seed_from_u64(999);
+                let h = family.generate(40, &mut rng2);
+                assert_eq!(
+                    g.edges().collect::<Vec<_>>(),
+                    h.edges().collect::<Vec<_>>(),
+                    "{} claims determinism but differs across RNGs",
+                    family.name()
+                );
+            }
         }
+        assert_eq!(Family::parse("klein-bottle"), None);
+        assert!(Family::Cubic.is_randomized());
+        assert!(!Family::Torus.is_randomized());
     }
 }

@@ -1,0 +1,74 @@
+//! Property tests for the graph generators the sweep scenarios rely on:
+//! random `d`-regular graphs and 2-D tori must honor their degree bounds,
+//! stay connected, and have the exact node/edge counts their definitions
+//! promise, across seeds and sizes.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rlnc_graph::generators::{circulant, prism, random_regular, torus};
+use rlnc_graph::is_connected;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_regular_is_exactly_d_regular_and_connected(
+        seed in 0u64..1_000_000,
+        n_raw in 8u64..64,
+        d in 2u64..5,
+    ) {
+        // Keep n*d even (a d-regular graph otherwise cannot exist).
+        let n = if (n_raw * d) % 2 == 1 { n_raw + 1 } else { n_raw } as usize;
+        let d = d as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, d, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n * d / 2);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == d));
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.validate().is_ok(), "invalid CSR: {:?}", g.validate());
+    }
+
+    #[test]
+    fn random_regular_is_reproducible_per_seed(seed in 0u64..1_000_000, n in 6u64..40) {
+        let n = (n as usize) & !1; // even so n*3 is even
+        let a = random_regular(n.max(6), 3, &mut SmallRng::seed_from_u64(seed));
+        let b = random_regular(n.max(6), 3, &mut SmallRng::seed_from_u64(seed));
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        prop_assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn torus_is_4_regular_with_exact_counts(rows in 3u64..16, cols in 3u64..16) {
+        let (rows, cols) = (rows as usize, cols as usize);
+        let g = torus(rows, cols);
+        prop_assert_eq!(g.node_count(), rows * cols);
+        // Every node contributes exactly 2 wrap-around-inclusive edges.
+        prop_assert_eq!(g.edge_count(), 2 * rows * cols);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == 4));
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.validate().is_ok(), "invalid CSR: {:?}", g.validate());
+    }
+
+    #[test]
+    fn circulant_squared_cycle_counts(n in 5u64..200) {
+        let n = n as usize;
+        let g = circulant(n, &[1, 2]);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), 2 * n);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == 4));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn prism_counts(n in 3u64..100) {
+        let n = n as usize;
+        let g = prism(n);
+        prop_assert_eq!(g.node_count(), 2 * n);
+        prop_assert_eq!(g.edge_count(), 3 * n);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == 3));
+        prop_assert!(is_connected(&g));
+    }
+}

@@ -16,15 +16,19 @@
 //!   confidence intervals.
 //! * [`stats`]: Wilson score intervals, summary statistics, histograms.
 //! * [`sweep`]: chunked parallel parameter sweeps.
+//! * [`scale`]: the shared smoke/standard/full work-scaling knob used by
+//!   the experiment drivers, the sweep engine, and the benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod rng;
+pub mod scale;
 pub mod stats;
 pub mod sweep;
 pub mod trials;
 
 pub use rng::{derive_seed, SeedSequence};
+pub use scale::Scale;
 pub use stats::{mean, wilson_interval, Estimate, Summary};
 pub use trials::{MonteCarlo, TrialOutcome};

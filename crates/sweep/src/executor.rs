@@ -1,0 +1,339 @@
+//! The batched parallel sweep executor.
+//!
+//! ## Seed discipline
+//!
+//! Every trial's random stream is pinned by the path
+//! `(scenario, grid point, trial)` through a [`SeedSequence`] tree:
+//!
+//! ```text
+//! SeedSequence::new(master_seed)
+//!   .child(fnv1a64(scenario name))     // scenario branch
+//!   .child(point.index)                // grid-point branch
+//!   .child(0)                          // setup stream (ids, ...)
+//!   .child(1).child(trial)             // trial stream
+//! ```
+//!
+//! Nothing depends on thread scheduling or batch size, so a sweep is
+//! bit-reproducible; and because each grid point's records are derived
+//! independently, a sweep is resumable: feed previously exported records
+//! back via [`SweepExecutor::resume`] and only the missing points run.
+
+use crate::record::{RunRecord, SweepRun};
+use crate::spec::{GridPoint, ScenarioSpec};
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::stats::Estimate;
+use rlnc_par::sweep::{balanced_ranges, sweep, sweep_sequential};
+use rlnc_par::Scale;
+use std::collections::HashMap;
+
+/// Default master seed of the sweep engine (overridable per run and from
+/// the CLI's `--seed`).
+pub const DEFAULT_SWEEP_SEED: u64 = 0x5EED_2015_0613;
+
+/// 64-bit FNV-1a hash of a string — maps a scenario name to its branch of
+/// the seed tree.
+pub fn scenario_tag(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs [`ScenarioSpec`]s: materializes the grid, executes trial batches
+/// in parallel, and collects [`RunRecord`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExecutor {
+    scale: Scale,
+    master_seed: u64,
+    batch: u64,
+    parallel: bool,
+}
+
+impl SweepExecutor {
+    /// Creates an executor at the given scale with the default seed,
+    /// parallel execution, and 256-trial batches.
+    pub fn new(scale: Scale) -> Self {
+        SweepExecutor {
+            scale,
+            master_seed: DEFAULT_SWEEP_SEED,
+            batch: 256,
+            parallel: true,
+        }
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Overrides the batch size (trials per parallel work item). Results
+    /// are independent of this knob; it only shapes load balancing.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Forces sequential execution (for debugging or nested contexts).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// The scale this executor runs at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The master seed this executor derives every stream from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The seed branch of a scenario under this executor's master seed.
+    pub fn scenario_sequence(&self, name: &str) -> SeedSequence {
+        SeedSequence::new(self.master_seed).child(scenario_tag(name))
+    }
+
+    /// Runs the full grid of `spec`.
+    ///
+    /// # Panics
+    /// Panics if `spec` fails [`ScenarioSpec::validate`].
+    pub fn run(&self, spec: &ScenarioSpec) -> SweepRun {
+        self.resume(spec, &[])
+    }
+
+    /// Runs `spec`, skipping grid points for which `existing` already holds
+    /// a matching record (same scenario, point index, grid coordinates,
+    /// trial count, and seed — i.e. a record this executor would reproduce
+    /// bit-for-bit). Records are returned in grid order regardless of how
+    /// `existing` was ordered, so a resumed run equals a fresh one.
+    ///
+    /// # Panics
+    /// Panics if `spec` fails [`ScenarioSpec::validate`].
+    pub fn resume(&self, spec: &ScenarioSpec, existing: &[RunRecord]) -> SweepRun {
+        if let Err(e) = spec.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let points = spec.grid(self.scale);
+        let scenario_seq = self.scenario_sequence(&spec.name);
+
+        let reusable: HashMap<u64, &RunRecord> = existing
+            .iter()
+            .filter(|r| r.scenario == spec.name)
+            .map(|r| (r.point, r))
+            .collect();
+
+        let todo: Vec<&GridPoint> = points
+            .iter()
+            .filter(|p| match reusable.get(&p.index) {
+                Some(r) => !record_matches_point(r, p, scenario_seq, spec),
+                None => true,
+            })
+            .collect();
+
+        // Per-point setup once; trial batches share it read-only.
+        let prepared: Vec<_> = todo
+            .iter()
+            .map(|p| {
+                let point_seq = scenario_seq.child(p.index);
+                (*p, point_seq, spec.workload.prepare(p, point_seq))
+            })
+            .collect();
+
+        // Flatten (point, trial range) work items so small grids with large
+        // trial budgets still saturate the thread pool.
+        let items: Vec<(usize, std::ops::Range<usize>)> = prepared
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, (p, _, _))| {
+                let chunks = (p.trials.div_ceil(self.batch)).max(1) as usize;
+                balanced_ranges(p.trials as usize, chunks)
+                    .into_iter()
+                    .map(move |r| (slot, r))
+            })
+            .collect();
+
+        let run_item = |&(slot, ref range): &(usize, std::ops::Range<usize>)| {
+            let (_, point_seq, prep) = &prepared[slot];
+            let trial_root = point_seq.child(1);
+            let mut successes = 0u64;
+            let mut values = Vec::with_capacity(range.len());
+            for trial in range.clone() {
+                let outcome = prep.run_trial(trial_root.child(trial as u64));
+                successes += u64::from(outcome.success);
+                values.push(outcome.value);
+            }
+            (slot, successes, values)
+        };
+        let partials: Vec<(usize, u64, Vec<f64>)> = if self.parallel {
+            sweep(items, run_item)
+        } else {
+            sweep_sequential(items, run_item)
+        };
+
+        // Items arrive in submission order (ascending trial ranges per
+        // slot), so concatenating value chunks restores trial order; the
+        // left-fold sum below is then independent of batch size and thread
+        // schedule, keeping mean_value bit-reproducible.
+        let mut successes = vec![0u64; prepared.len()];
+        let mut values: Vec<Vec<f64>> = vec![Vec::new(); prepared.len()];
+        for (slot, succ, chunk) in partials {
+            successes[slot] += succ;
+            values[slot].extend(chunk);
+        }
+        let value_sums: Vec<f64> = values.iter().map(|v| v.iter().sum()).collect();
+
+        let computed: HashMap<u64, RunRecord> = prepared
+            .iter()
+            .enumerate()
+            .map(|(slot, (p, point_seq, _))| {
+                let est = Estimate::from_counts(successes[slot], p.trials);
+                let record = RunRecord {
+                    scenario: spec.name.clone(),
+                    point: p.index,
+                    family: p.family.name().to_string(),
+                    n: p.n as u64,
+                    id_scheme: p.id_scheme.name(),
+                    workload: spec.workload.name().to_string(),
+                    param_a: p.params.a,
+                    param_b: p.params.b,
+                    trials: p.trials,
+                    seed: point_seq.seed(),
+                    successes: successes[slot],
+                    p_hat: est.p_hat,
+                    lower: est.lower,
+                    upper: est.upper,
+                    mean_value: value_sums[slot] / p.trials as f64,
+                };
+                (p.index, record)
+            })
+            .collect();
+
+        let records = points
+            .iter()
+            .map(|p| match computed.get(&p.index) {
+                Some(r) => r.clone(),
+                None => (*reusable[&p.index]).clone(),
+            })
+            .collect();
+
+        SweepRun {
+            scenario: spec.name.clone(),
+            description: spec.description.clone(),
+            workload: spec.workload.name().to_string(),
+            scale: self.scale.name().to_string(),
+            master_seed: self.master_seed,
+            records,
+        }
+    }
+}
+
+/// Returns `true` if `record` pins exactly the work this executor would do
+/// at `point` (so re-running it is provably redundant).
+fn record_matches_point(
+    record: &RunRecord,
+    point: &GridPoint,
+    scenario_seq: SeedSequence,
+    spec: &ScenarioSpec,
+) -> bool {
+    record.point == point.index
+        && record.family == point.family.name()
+        && record.n == point.n as u64
+        && record.id_scheme == point.id_scheme.name()
+        && record.workload == spec.workload.name()
+        && record.param_a == point.params.a
+        && record.param_b == point.params.b
+        && record.trials == point.trials
+        && record.seed == scenario_seq.child(point.index).seed()
+        && record.successes <= record.trials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn smoke_spec() -> ScenarioSpec {
+        Registry::builtin().get("smoke").expect("smoke scenario").clone()
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible_across_schedules_and_batching() {
+        let spec = smoke_spec();
+        let a = SweepExecutor::new(Scale::Smoke).with_seed(11).run(&spec);
+        let b = SweepExecutor::new(Scale::Smoke).with_seed(11).run(&spec);
+        assert_eq!(a, b);
+        let sequential = SweepExecutor::new(Scale::Smoke).with_seed(11).sequential().run(&spec);
+        assert_eq!(a, sequential);
+        let odd_batches = SweepExecutor::new(Scale::Smoke).with_seed(11).with_batch(7).run(&spec);
+        assert_eq!(a, odd_batches);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let spec = smoke_spec();
+        let a = SweepExecutor::new(Scale::Smoke).with_seed(1).run(&spec);
+        let b = SweepExecutor::new(Scale::Smoke).with_seed(2).run(&spec);
+        assert_ne!(
+            a.records.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            b.records.iter().map(|r| r.seed).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn resume_reuses_matching_records_and_fills_the_rest() {
+        let spec = smoke_spec();
+        let exec = SweepExecutor::new(Scale::Smoke).with_seed(23);
+        let full = exec.run(&spec);
+        assert!(full.records.len() >= 2);
+        let partial = &full.records[..full.records.len() / 2];
+        let resumed = exec.resume(&spec, partial);
+        assert_eq!(resumed, full);
+        // Records from a different seed don't match and are recomputed.
+        let stale = SweepExecutor::new(Scale::Smoke).with_seed(99).run(&spec);
+        let recomputed = exec.resume(&spec, &stale.records);
+        assert_eq!(recomputed, full);
+    }
+
+    #[test]
+    fn records_carry_the_grid_coordinates() {
+        let spec = smoke_spec();
+        let run = SweepExecutor::new(Scale::Smoke).run(&spec);
+        let grid = spec.grid(Scale::Smoke);
+        assert_eq!(run.records.len(), grid.len());
+        for (record, point) in run.records.iter().zip(&grid) {
+            assert_eq!(record.point, point.index);
+            assert_eq!(record.family, point.family.name());
+            assert_eq!(record.trials, point.trials);
+            assert!(record.successes <= record.trials);
+            assert!((0.0..=1.0).contains(&record.p_hat));
+            assert!(record.lower <= record.p_hat && record.p_hat <= record.upper);
+        }
+    }
+
+    #[test]
+    fn scenario_tags_separate_scenarios() {
+        assert_ne!(scenario_tag("a"), scenario_tag("b"));
+        assert_eq!(scenario_tag("smoke"), scenario_tag("smoke"));
+        let exec = SweepExecutor::new(Scale::Smoke).with_seed(5);
+        assert_ne!(
+            exec.scenario_sequence("a").seed(),
+            exec.scenario_sequence("b").seed()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn invalid_specs_are_rejected() {
+        let mut spec = smoke_spec();
+        spec.sizes.clear();
+        let _ = SweepExecutor::new(Scale::Smoke).run(&spec);
+    }
+}

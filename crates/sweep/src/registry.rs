@@ -1,0 +1,173 @@
+//! The registry of named, ready-to-run scenarios.
+//!
+//! Scenario names are the CLI's currency (`rlnc-experiments sweep
+//! --scenario NAME`) and the first component of every trial's seed path,
+//! so they must be unique. [`Registry::builtin`] assembles the scenarios
+//! shipped with the workspace from `rlnc-langs` and `rlnc-graph` building
+//! blocks; callers can [`Registry::insert`] their own.
+
+use crate::spec::{IdScheme, Params, ScenarioSpec};
+use crate::workload::Workload;
+use rlnc_graph::generators::Family;
+
+/// A collection of named scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    scenarios: Vec<ScenarioSpec>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The scenarios shipped with the workspace.
+    pub fn builtin() -> Self {
+        let mut registry = Registry::new();
+        registry.insert(ScenarioSpec {
+            name: "smoke".into(),
+            description: "tiny ε-slack sweep over a cycle and a torus (CI front door)".into(),
+            families: vec![Family::Cycle, Family::Torus],
+            sizes: vec![36],
+            id_schemes: vec![IdScheme::Consecutive],
+            params: vec![Params::ZERO],
+            base_trials: 400,
+            workload: Workload::SlackColoring { colors: 3, epsilon: 0.60 },
+        });
+        registry.insert(ScenarioSpec {
+            name: "slack-ring".into(),
+            description: "§1.1: zero-round random 3-coloring vs the 0.60-slack relaxation on growing rings".into(),
+            families: vec![Family::Cycle],
+            sizes: vec![64, 256, 1024],
+            id_schemes: vec![IdScheme::Consecutive],
+            params: vec![Params::ZERO],
+            base_trials: 400,
+            workload: Workload::SlackColoring { colors: 3, epsilon: 0.60 },
+        });
+        registry.insert(ScenarioSpec {
+            name: "slack-topologies".into(),
+            description: "ε-slack random coloring across bounded-degree topologies the paper never tests (torus, random 4-regular, circulant) and identity schemes".into(),
+            families: vec![
+                Family::Cycle,
+                Family::Grid,
+                Family::BinaryTree,
+                Family::Cubic,
+                Family::Torus,
+                Family::RandomRegular4,
+                Family::Circulant2,
+            ],
+            sizes: vec![64, 144],
+            id_schemes: vec![IdScheme::Consecutive, IdScheme::RandomPermutation],
+            params: vec![Params::ZERO],
+            base_trials: 300,
+            workload: Workload::SlackColoring { colors: 3, epsilon: 0.60 },
+        });
+        registry.insert(resilient_boundary_spec());
+        registry.insert(boosting_spec(8));
+        registry
+    }
+
+    /// Adds or replaces (by name) a scenario.
+    pub fn insert(&mut self, spec: ScenarioSpec) {
+        if let Some(existing) = self.scenarios.iter_mut().find(|s| s.name == spec.name) {
+            *existing = spec;
+        } else {
+            self.scenarios.push(spec);
+        }
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// All scenario names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Iterates over the registered scenarios.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.scenarios.iter()
+    }
+}
+
+/// The E5 grid as a scenario: the Corollary-1 decider at the resilience
+/// boundary, `f ∈ {1, 2, 4, 8}` × planted conflicts `∈ {0, 1, 2, 3}`.
+pub fn resilient_boundary_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "resilient-boundary".into(),
+        description: "Corollary 1: the f-resilient decider's acceptance probability across the |F| ≤ f boundary".into(),
+        families: vec![Family::Cycle],
+        sizes: vec![96],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: [1u64, 2, 4, 8]
+            .iter()
+            .flat_map(|&f| (0u64..4).map(move |planted| Params::two(f, planted)))
+            .collect(),
+        base_trials: 10_000,
+        workload: Workload::ResilientBoundary { colors: 2 },
+    }
+}
+
+/// The E6 grid as a scenario: Claim-3 disjoint-union boosting with
+/// `ν ∈ {1, ..., max_nu}` copies (E6 picks `max_nu` from the measured
+/// constructor failure probability β).
+pub fn boosting_spec(max_nu: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "boosting-decay".into(),
+        description: "Claim 3: decider acceptance on the disjoint union of ν hard cycles decays as (1−βp)^ν".into(),
+        families: vec![Family::Cycle],
+        sizes: vec![12],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (1..=max_nu.max(1)).map(Params::one).collect(),
+        base_trials: 3_000,
+        workload: Workload::BoostingUnion {
+            cycle_size: 12,
+            per_node_fault: 0.05,
+            colors: 3,
+            decider_p: 0.8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_scenarios_are_unique_and_valid() {
+        let registry = Registry::builtin();
+        let names = registry.names();
+        assert!(names.len() >= 5);
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate scenario names");
+        for spec in registry.iter() {
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert!(!spec.description.is_empty(), "{} lacks a description", spec.name);
+        }
+        assert!(registry.get("smoke").is_some());
+        assert!(registry.get("resilient-boundary").is_some());
+        assert!(registry.get("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut registry = Registry::builtin();
+        let before = registry.names().len();
+        let mut spec = registry.get("smoke").unwrap().clone();
+        spec.base_trials = 7;
+        registry.insert(spec);
+        assert_eq!(registry.names().len(), before);
+        assert_eq!(registry.get("smoke").unwrap().base_trials, 7);
+    }
+
+    #[test]
+    fn parameterized_spec_builders() {
+        assert_eq!(resilient_boundary_spec().params.len(), 16);
+        assert_eq!(boosting_spec(5).params.len(), 5);
+        assert_eq!(boosting_spec(0).params.len(), 1, "ν is clamped to at least 1");
+        assert!(boosting_spec(3).validate().is_ok());
+    }
+}

@@ -1,0 +1,284 @@
+//! Scenario specifications: the declarative grid a sweep quantifies over.
+//!
+//! A [`ScenarioSpec`] is the cartesian product of four axes — graph
+//! [`Family`], base size, [`IdScheme`], and workload [`Params`] — plus a
+//! trial budget and the [`Workload`] kernel every grid point runs. The
+//! grid is materialized by [`ScenarioSpec::grid`] at a chosen
+//! [`Scale`], which multiplies sizes and trial counts exactly the way the
+//! E1–E10 drivers do.
+
+use crate::workload::Workload;
+use rand::Rng;
+use rlnc_graph::generators::Family;
+use rlnc_graph::{Graph, IdAssignment};
+use rlnc_par::Scale;
+
+/// How identities are assigned to the nodes of a generated graph.
+///
+/// The paper's lower bounds hinge on the *relative order* of identities,
+/// so sweeps vary the scheme: adversarial consecutive identities (§4),
+/// uniformly random permutations, and order-preserving spread identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdScheme {
+    /// Consecutive identities `1..=n` in node order (the adversarial
+    /// assignment of §4 on the cycle).
+    Consecutive,
+    /// A uniformly random permutation of `1..=n`.
+    RandomPermutation,
+    /// Identities `stride, 2·stride, ...` — same order type as
+    /// [`IdScheme::Consecutive`] but with large value gaps.
+    Spread(u64),
+}
+
+impl IdScheme {
+    /// The name recorded in [`crate::RunRecord`]s and table rows.
+    pub fn name(&self) -> String {
+        match self {
+            IdScheme::Consecutive => "consecutive".to_string(),
+            IdScheme::RandomPermutation => "random-permutation".to_string(),
+            IdScheme::Spread(stride) => format!("spread-{stride}"),
+        }
+    }
+
+    /// Returns `true` if [`IdScheme::build`] draws from the RNG (so each
+    /// call yields a different assignment).
+    pub fn is_randomized(&self) -> bool {
+        matches!(self, IdScheme::RandomPermutation)
+    }
+
+    /// Materializes the assignment for `graph`, drawing randomness (for the
+    /// random schemes) from `rng`.
+    pub fn build<R: Rng + ?Sized>(&self, graph: &Graph, rng: &mut R) -> IdAssignment {
+        match self {
+            IdScheme::Consecutive => IdAssignment::consecutive(graph),
+            IdScheme::RandomPermutation => IdAssignment::random_permutation(graph, rng),
+            IdScheme::Spread(stride) => IdAssignment::spread(graph, (*stride).max(1)),
+        }
+    }
+}
+
+/// A workload-specific parameter pair attached to a grid point.
+///
+/// The meaning of the two components is fixed by the [`Workload`]: the
+/// resilient-boundary kernel reads `(f, planted conflicts)`, the boosting
+/// kernel reads `(ν, _)`, and the slack kernel ignores both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Params {
+    /// Primary parameter (e.g. the resilience `f`, or the copy count `ν`).
+    pub a: u64,
+    /// Secondary parameter (e.g. the number of planted conflicts).
+    pub b: u64,
+}
+
+impl Params {
+    /// The all-zero parameter pair (for workloads that take no parameters).
+    pub const ZERO: Params = Params { a: 0, b: 0 };
+
+    /// A single-parameter point.
+    pub fn one(a: u64) -> Params {
+        Params { a, b: 0 }
+    }
+
+    /// A two-parameter point.
+    pub fn two(a: u64, b: u64) -> Params {
+        Params { a, b }
+    }
+}
+
+/// One concrete configuration of a scenario grid, with its scaled size and
+/// trial budget resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Position of this point in the scenario's grid enumeration order
+    /// (the second component of the `(scenario, grid point, trial)` seed
+    /// path).
+    pub index: u64,
+    /// Graph family to instantiate.
+    pub family: Family,
+    /// Target node count (already scaled and workload-normalized; random
+    /// families may deviate slightly, e.g. grids round to a square).
+    pub n: usize,
+    /// Identity scheme for the instantiated graphs.
+    pub id_scheme: IdScheme,
+    /// Workload-specific parameters.
+    pub params: Params,
+    /// Monte-Carlo trials to run at this point (scale-multiplied base
+    /// budget, raised to the workload's statistical floor).
+    pub trials: u64,
+}
+
+/// A named, declarative scenario: the grid axes plus the workload kernel.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (a slug; used for registry lookup and as the
+    /// first component of every trial's seed path).
+    pub name: String,
+    /// One-line human-readable description.
+    pub description: String,
+    /// Graph-family axis.
+    pub families: Vec<Family>,
+    /// Base-size axis (scaled by [`Scale::size`] at grid time).
+    pub sizes: Vec<usize>,
+    /// Identity-scheme axis.
+    pub id_schemes: Vec<IdScheme>,
+    /// Workload-parameter axis.
+    pub params: Vec<Params>,
+    /// Base Monte-Carlo trial count per grid point (scaled by
+    /// [`Scale::trials`]).
+    pub base_trials: u64,
+    /// The kernel every grid point runs.
+    pub workload: Workload,
+}
+
+impl ScenarioSpec {
+    /// Checks that the grid is non-degenerate (every axis non-empty, a
+    /// positive trial budget, workload-compatible families).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must be non-empty".into());
+        }
+        // Names flow verbatim into CSV cells and markdown table rows, so
+        // restrict them to slugs (the emitters don't quote).
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "scenario name '{}' must be a slug (ASCII alphanumerics, '-', '_')",
+                self.name
+            ));
+        }
+        for (axis, len) in [
+            ("families", self.families.len()),
+            ("sizes", self.sizes.len()),
+            ("id_schemes", self.id_schemes.len()),
+            ("params", self.params.len()),
+        ] {
+            if len == 0 {
+                return Err(format!("scenario '{}': axis '{axis}' is empty", self.name));
+            }
+        }
+        if self.base_trials == 0 {
+            return Err(format!("scenario '{}': base_trials must be positive", self.name));
+        }
+        for &family in &self.families {
+            self.workload
+                .check_family(family)
+                .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the grid at the given scale, in deterministic
+    /// enumeration order (family, then size, then id scheme, then params).
+    pub fn grid(&self, scale: Scale) -> Vec<GridPoint> {
+        let mut points = Vec::with_capacity(
+            self.families.len() * self.sizes.len() * self.id_schemes.len() * self.params.len(),
+        );
+        let mut index = 0u64;
+        for &family in &self.families {
+            for &size in &self.sizes {
+                let n = self.workload.normalize_size(scale.size(size));
+                for &id_scheme in &self.id_schemes {
+                    for &params in &self.params {
+                        let mut point = GridPoint {
+                            index,
+                            family,
+                            n,
+                            id_scheme,
+                            params,
+                            trials: 0,
+                        };
+                        point.trials = scale
+                            .trials(self.base_trials)
+                            .max(self.workload.min_trials(&point));
+                        points.push(point);
+                        index += 1;
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".into(),
+            description: "demo spec".into(),
+            families: vec![Family::Cycle, Family::Torus],
+            sizes: vec![32, 64],
+            id_schemes: vec![IdScheme::Consecutive, IdScheme::RandomPermutation],
+            params: vec![Params::ZERO],
+            base_trials: 400,
+            workload: Workload::SlackColoring {
+                colors: 3,
+                epsilon: 0.6,
+            },
+        }
+    }
+
+    #[test]
+    fn grid_enumerates_the_cartesian_product_in_order() {
+        let spec = demo_spec();
+        let grid = spec.grid(Scale::Standard);
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        for (i, p) in grid.iter().enumerate() {
+            assert_eq!(p.index, i as u64);
+            assert_eq!(p.trials, 400);
+        }
+        assert_eq!(grid[0].family, Family::Cycle);
+        assert_eq!(grid[0].n, 32);
+        assert_eq!(grid[4].family, Family::Torus);
+        // Smoke scale shrinks both axes.
+        let smoke = spec.grid(Scale::Smoke);
+        assert_eq!(smoke[0].n, 8);
+        assert_eq!(smoke[0].trials, 20);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(demo_spec().validate().is_ok());
+        let mut bad_name = demo_spec();
+        bad_name.name = "commas,break,csv".into();
+        assert!(bad_name.validate().unwrap_err().contains("slug"));
+        let mut empty_axis = demo_spec();
+        empty_axis.sizes.clear();
+        assert!(empty_axis.validate().unwrap_err().contains("sizes"));
+        let mut no_trials = demo_spec();
+        no_trials.base_trials = 0;
+        assert!(no_trials.validate().is_err());
+        let mut wrong_family = demo_spec();
+        wrong_family.workload = Workload::ResilientBoundary { colors: 2 };
+        wrong_family.params = vec![Params::two(1, 0)];
+        assert!(wrong_family.validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn id_schemes_build_valid_assignments() {
+        let g = rlnc_graph::generators::cycle(12);
+        let mut rng = rlnc_par::SeedSequence::new(3).rng();
+        for scheme in [
+            IdScheme::Consecutive,
+            IdScheme::RandomPermutation,
+            IdScheme::Spread(100),
+        ] {
+            let ids = scheme.build(&g, &mut rng);
+            assert_eq!(ids.len(), 12);
+            assert!(!scheme.name().is_empty());
+        }
+        assert_eq!(IdScheme::Spread(7).name(), "spread-7");
+    }
+
+    #[test]
+    fn params_constructors() {
+        assert_eq!(Params::one(5), Params { a: 5, b: 0 });
+        assert_eq!(Params::two(2, 9).b, 9);
+        assert_eq!(Params::default(), Params::ZERO);
+    }
+}

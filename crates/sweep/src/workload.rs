@@ -1,0 +1,518 @@
+//! Workload kernels: what one Monte-Carlo trial at a grid point actually
+//! does.
+//!
+//! A [`Workload`] is the declarative half (an enum that names the kernel
+//! and its fixed parameters, recorded in every [`crate::RunRecord`]); a
+//! [`Prepared`] point is the executable half, built once per grid point by
+//! [`Workload::prepare`] and then driven trial-by-trial with independent
+//! [`SeedSequence`]s by the executor.
+
+use crate::spec::{GridPoint, IdScheme};
+use rlnc_core::algorithm::Coins;
+use rlnc_core::decision::{decide_randomized, RandomizedDecider};
+use rlnc_core::derand::boosting::build_disjoint_union;
+use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstance};
+use rlnc_core::language::DistributedLanguage;
+use rlnc_core::prelude::{Instance, IoConfig, Label, Labeling, Simulator, View};
+use rlnc_core::relaxation::EpsilonSlack;
+use rlnc_core::resilient::{theoretical_acceptance, ResilientDecider};
+use rlnc_graph::generators::{cycle, Family};
+use rlnc_graph::{Graph, IdAssignment, NodeId};
+use rlnc_langs::coloring::{improperly_colored_nodes, GlobalGreedyColoring, ProperColoring};
+use rlnc_langs::faulty::FaultyConstructor;
+use rlnc_langs::random_coloring::RandomColoring;
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::trials::TrialOutcome;
+use rand::Rng;
+
+/// The Monte-Carlo kernel a scenario runs at every grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Zero-round uniformly random `colors`-coloring; a trial succeeds if
+    /// the output lands in the ε-slack relaxation of proper coloring
+    /// (§1.1). The trial value is the improper-node fraction. Ignores
+    /// [`crate::Params`]. Works on every graph family.
+    SlackColoring {
+        /// Palette size of the random coloring.
+        colors: u64,
+        /// Slack fraction ε of tolerated bad balls.
+        epsilon: f64,
+    },
+    /// The Corollary-1 `f`-resilient decider on an even cycle with planted
+    /// 2-coloring conflicts (§4). Reads `params.a` as the resilience `f`
+    /// and `params.b` as the number of planted conflicts (each planted
+    /// conflict creates 3 bad balls). A trial succeeds if every node
+    /// accepts. Requires [`Family::Cycle`].
+    ResilientBoundary {
+        /// Palette size of the underlying proper coloring (the paper's
+        /// boundary instance uses 2).
+        colors: u64,
+    },
+    /// Claim-3 error boosting: a fault-injected colorer runs on the
+    /// disjoint union of `params.a` copies of a consecutive-identity hard
+    /// cycle, then a one-sided per-bad-ball rejecting decider with
+    /// guarantee `decider_p` decides the result. A trial succeeds if the
+    /// decider accepts everywhere. Requires [`Family::Cycle`].
+    BoostingUnion {
+        /// Size of each hard cycle copy.
+        cycle_size: usize,
+        /// Per-node corruption probability of the faulty constructor.
+        per_node_fault: f64,
+        /// Palette size of the greedy colorer and of the decider's range
+        /// check.
+        colors: u64,
+        /// Rejection probability at bad-ball centers (the decider's
+        /// one-sided guarantee).
+        decider_p: f64,
+    },
+}
+
+impl Workload {
+    /// The name recorded in [`crate::RunRecord`]s.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::SlackColoring { .. } => "slack-coloring",
+            Workload::ResilientBoundary { .. } => "resilient-boundary",
+            Workload::BoostingUnion { .. } => "boosting-union",
+        }
+    }
+
+    /// Rejects grid families the kernel cannot run on.
+    pub fn check_family(&self, family: Family) -> Result<(), String> {
+        match self {
+            Workload::SlackColoring { .. } => Ok(()),
+            Workload::ResilientBoundary { .. } | Workload::BoostingUnion { .. } => {
+                if family == Family::Cycle {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "workload '{}' runs on the cycle family only, got '{}'",
+                        self.name(),
+                        family.name()
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Adjusts a scaled size to the kernel's structural requirements (the
+    /// planted-conflict construction needs an even cycle with room for the
+    /// planted regions).
+    pub fn normalize_size(&self, n: usize) -> usize {
+        match self {
+            Workload::ResilientBoundary { .. } => (n.max(48) / 6) * 6,
+            // The boosting kernel always builds ν copies of its fixed hard
+            // cycle, so the recorded size is pinned to the copy size (the
+            // scale knob varies trials, not the instance).
+            Workload::BoostingUnion { cycle_size, .. } => *cycle_size,
+            Workload::SlackColoring { .. } => n,
+        }
+    }
+
+    /// A statistical floor on the trial count of a grid point.
+    ///
+    /// Near the resilience boundary the inequality under test can be
+    /// razor-thin (`f = 8`, `|F| = 9` leaves `1/2 − p⁹ ≈ 0.016`), so the
+    /// resilient kernel demands enough trials to resolve its own margin at
+    /// ≈4σ; the 0.015 margin floor caps the demand at ≈17.8k trials.
+    pub fn min_trials(&self, point: &GridPoint) -> u64 {
+        match self {
+            Workload::ResilientBoundary { .. } => {
+                let f = point.params.a.max(1) as usize;
+                let bad = planted_bad_balls(point.n, point.params.b);
+                let theory = theoretical_acceptance(f, bad);
+                let margin = (theory - 0.5).abs().max(0.015);
+                (0.25 * (4.0 / margin).powi(2)).ceil() as u64
+            }
+            Workload::SlackColoring { .. } | Workload::BoostingUnion { .. } => 0,
+        }
+    }
+
+    /// Builds the per-point state (graphs, labelings, deciders) once, so
+    /// trial batches only pay for the Monte-Carlo part. `point_seed` is the
+    /// grid point's branch of the scenario seed tree; preparation draws
+    /// from its child `0`, trials from its child `1` (see
+    /// [`crate::SweepExecutor`]).
+    pub fn prepare(&self, point: &GridPoint, point_seed: SeedSequence) -> Prepared {
+        let mut prep_rng = point_seed.child(0).rng();
+        match *self {
+            Workload::SlackColoring { colors, epsilon } => {
+                // Deterministic families (and id schemes) produce the same
+                // instance every trial, so build them once here; randomized
+                // ones are regenerated per trial from the trial seed. The
+                // trial streams are identical either way (the setup draws
+                // from dedicated seed children).
+                let fixed = if point.family.is_randomized() {
+                    None
+                } else {
+                    let graph = point.family.generate(point.n, &mut prep_rng);
+                    let input = Labeling::empty(graph.node_count());
+                    let ids = if point.id_scheme.is_randomized() {
+                        None
+                    } else {
+                        Some(point.id_scheme.build(&graph, &mut prep_rng))
+                    };
+                    Some((graph, input, ids))
+                };
+                Prepared::Slack {
+                    colors,
+                    epsilon,
+                    family: point.family,
+                    n: point.n,
+                    id_scheme: point.id_scheme,
+                    fixed,
+                }
+            }
+            Workload::ResilientBoundary { colors } => {
+                let f = point.params.a.max(1) as usize;
+                let (graph, input, output) = planted_cycle_configuration(point.n, point.params.b);
+                let ids = point.id_scheme.build(&graph, &mut prep_rng);
+                let decider = ResilientDecider::new(ProperColoring::new(colors), f);
+                Prepared::Resilient {
+                    graph,
+                    input,
+                    output,
+                    ids,
+                    decider,
+                }
+            }
+            Workload::BoostingUnion {
+                cycle_size,
+                per_node_fault,
+                colors,
+                decider_p,
+            } => {
+                let nu = point.params.a.max(1) as usize;
+                let hard = consecutive_cycle_candidates([cycle_size]);
+                let union = build_disjoint_union(&hard, nu);
+                let constructor = FaultyConstructor::new(
+                    GlobalGreedyColoring::new(cycle_size as u32, colors),
+                    per_node_fault,
+                    Label::from_u64(0),
+                );
+                let decider = RejectBadBallsDecider::new(colors, decider_p);
+                Prepared::Boosting {
+                    union,
+                    constructor,
+                    decider,
+                }
+            }
+        }
+    }
+}
+
+/// The executable state of one grid point (see [`Workload::prepare`]).
+pub enum Prepared {
+    /// ε-slack random coloring: deterministic instances are prebuilt,
+    /// randomized families/id schemes are rebuilt per trial from the trial
+    /// seed.
+    Slack {
+        /// Palette size.
+        colors: u64,
+        /// Slack fraction.
+        epsilon: f64,
+        /// Graph family to instantiate per trial.
+        family: Family,
+        /// Target node count.
+        n: usize,
+        /// Identity scheme per trial.
+        id_scheme: IdScheme,
+        /// Prebuilt `(graph, input, ids)` when the family (and, for the
+        /// ids, the scheme) is deterministic; `None` means per-trial
+        /// regeneration.
+        fixed: Option<(Graph, Labeling, Option<IdAssignment>)>,
+    },
+    /// Resilient-decider boundary: the planted configuration is fixed, only
+    /// the decider's coins vary per trial.
+    Resilient {
+        /// The even cycle carrying the planted conflicts.
+        graph: Graph,
+        /// Empty input labeling.
+        input: Labeling,
+        /// The 2-coloring with planted conflicts.
+        output: Labeling,
+        /// Identity assignment.
+        ids: IdAssignment,
+        /// The Corollary-1 decider.
+        decider: ResilientDecider<ProperColoring>,
+    },
+    /// Boosting union: the composite instance and both algorithms are
+    /// fixed, construction and decision coins vary per trial.
+    Boosting {
+        /// Disjoint union of ν hard cycles with disjoint identity ranges.
+        union: HardInstance,
+        /// The fault-injected colorer.
+        constructor: FaultyConstructor<GlobalGreedyColoring>,
+        /// The one-sided rejecting decider.
+        decider: RejectBadBallsDecider,
+    },
+}
+
+impl Prepared {
+    /// Runs one Monte-Carlo trial; `seed` is this trial's leaf of the
+    /// `(scenario, grid point, trial)` seed tree.
+    pub fn run_trial(&self, seed: SeedSequence) -> TrialOutcome {
+        match self {
+            Prepared::Slack {
+                colors,
+                epsilon,
+                family,
+                n,
+                id_scheme,
+                fixed,
+            } => {
+                let generated: Option<(Graph, Labeling)>;
+                let (graph, input): (&Graph, &Labeling) = match fixed {
+                    Some((graph, input, _)) => (graph, input),
+                    None => {
+                        let mut graph_rng = seed.child(0).rng();
+                        let graph = family.generate(*n, &mut graph_rng);
+                        let input = Labeling::empty(graph.node_count());
+                        generated = Some((graph, input));
+                        let (g, i) = generated.as_ref().unwrap();
+                        (g, i)
+                    }
+                };
+                let generated_ids: Option<IdAssignment>;
+                let ids: &IdAssignment =
+                    match fixed.as_ref().and_then(|(_, _, ids)| ids.as_ref()) {
+                        Some(ids) => ids,
+                        None => {
+                            generated_ids =
+                                Some(id_scheme.build(graph, &mut seed.child(1).rng()));
+                            generated_ids.as_ref().unwrap()
+                        }
+                    };
+                let actual_n = graph.node_count();
+                let inst = Instance::new(graph, input, ids);
+                let algo = RandomColoring::new(*colors);
+                let out = Simulator::sequential().run_randomized(&algo, &inst, seed.child(2));
+                let io = IoConfig::new(graph, input, &out);
+                let lang = ProperColoring::new(*colors);
+                let improper = improperly_colored_nodes(&lang, &io) as f64 / actual_n as f64;
+                let relaxed = EpsilonSlack::new(ProperColoring::new(*colors), *epsilon);
+                TrialOutcome {
+                    success: relaxed.contains(&io),
+                    value: improper,
+                }
+            }
+            Prepared::Resilient {
+                graph,
+                input,
+                output,
+                ids,
+                decider,
+            } => {
+                let io = IoConfig::new(graph, input, output);
+                TrialOutcome::from_bool(decide_randomized(decider, &io, ids, seed))
+            }
+            Prepared::Boosting {
+                union,
+                constructor,
+                decider,
+            } => {
+                let inst = union.as_instance();
+                let out = Simulator::sequential().run_randomized(constructor, &inst, seed.child(0));
+                let io = IoConfig::from_instance(&inst, &out);
+                TrialOutcome::from_bool(decide_randomized(decider, &io, &union.ids, seed.child(1)))
+            }
+        }
+    }
+}
+
+/// The one-sided decider used by the boosting workload (and E6): accept at
+/// properly-colored centers, reject at bad centers with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct RejectBadBallsDecider {
+    colors: u64,
+    p: f64,
+}
+
+impl RejectBadBallsDecider {
+    /// Builds the decider for a `colors`-palette with rejection probability
+    /// `p` at bad-ball centers.
+    pub fn new(colors: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rejection probability must lie in [0, 1]");
+        RejectBadBallsDecider { colors, p }
+    }
+}
+
+impl RandomizedDecider for RejectBadBallsDecider {
+    fn radius(&self) -> u32 {
+        1
+    }
+
+    fn accepts(&self, view: &View, coins: &Coins) -> bool {
+        let mine = view.output(view.center_local());
+        let in_range = mine.as_u64() >= 1 && mine.as_u64() <= self.colors;
+        let conflict = view.center_neighbors().iter().any(|&i| view.output(i) == mine);
+        if in_range && !conflict {
+            true
+        } else {
+            !coins.for_center(view).random_bool(self.p)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("reject-bad-balls(p={})", self.p)
+    }
+}
+
+/// Plants `planted` recolorings on a properly 2-colored even cycle of size
+/// `n`: each recolored node matches both of its neighbors, so the victim's
+/// ball and both neighbors' balls become bad — exactly 3 bad balls per
+/// planted conflict while the planted regions stay at distance ≥ 4 apart.
+/// The conflict count is capped at `n / 6` so regions never merge.
+///
+/// # Panics
+/// Panics unless `n` is an even multiple of 6 (use
+/// [`Workload::normalize_size`]).
+pub fn planted_cycle_configuration(n: usize, planted: u64) -> (Graph, Labeling, Labeling) {
+    assert!(n % 6 == 0 && n % 2 == 0, "need an even multiple of 6, got {n}");
+    let conflicts = (planted as usize).min(n / 6);
+    let graph = cycle(n);
+    let input = Labeling::empty(n);
+    let mut output = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0 % 2) + 1));
+    for c in 0..conflicts {
+        // Recolor node 6c+1 to match node 6c+2 (both get color 1).
+        output.set(NodeId((6 * c + 1) as u32), Label::from_u64(1));
+    }
+    (graph, input, output)
+}
+
+/// The number of bad balls created by [`planted_cycle_configuration`]:
+/// 3 per planted conflict, with the same `n / 6` cap.
+pub fn planted_bad_balls(n: usize, planted: u64) -> usize {
+    3 * (planted as usize).min(n / 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Params;
+    use rlnc_core::language::bad_ball_count;
+
+    #[test]
+    fn planted_configuration_creates_three_bad_balls_per_conflict() {
+        for planted in 0..4 {
+            let (graph, input, output) = planted_cycle_configuration(48, planted);
+            let lang = ProperColoring::new(2);
+            let bad = bad_ball_count(&lang, &IoConfig::new(&graph, &input, &output));
+            assert_eq!(bad, planted_bad_balls(48, planted));
+            assert_eq!(bad, 3 * planted as usize);
+        }
+    }
+
+    #[test]
+    fn normalize_size_produces_even_multiples_of_six() {
+        let w = Workload::ResilientBoundary { colors: 2 };
+        assert_eq!(w.normalize_size(8), 48);
+        assert_eq!(w.normalize_size(96), 96);
+        assert_eq!(w.normalize_size(100), 96);
+        let s = Workload::SlackColoring { colors: 3, epsilon: 0.6 };
+        assert_eq!(s.normalize_size(100), 100);
+        // Boosting always runs ν copies of its fixed hard cycle; the
+        // recorded size must say so instead of echoing the scaled axis.
+        let b = Workload::BoostingUnion {
+            cycle_size: 12,
+            per_node_fault: 0.05,
+            colors: 3,
+            decider_p: 0.8,
+        };
+        assert_eq!(b.normalize_size(8), 12);
+        assert_eq!(b.normalize_size(48), 12);
+    }
+
+    #[test]
+    fn min_trials_scales_with_the_boundary_margin() {
+        let w = Workload::ResilientBoundary { colors: 2 };
+        let easy = GridPoint {
+            index: 0,
+            family: Family::Cycle,
+            n: 96,
+            id_scheme: IdScheme::Consecutive,
+            params: Params::two(1, 0),
+            trials: 0,
+        };
+        let hard = GridPoint {
+            params: Params::two(8, 3),
+            ..easy
+        };
+        // f = 8 with 9 planted bad balls sits ~0.016 from 1/2 and needs far
+        // more trials than the comfortable f = 1, |F| = 0 row.
+        assert!(w.min_trials(&hard) > 10 * w.min_trials(&easy));
+        assert!(w.min_trials(&hard) <= 18_000);
+        let s = Workload::SlackColoring { colors: 3, epsilon: 0.6 };
+        assert_eq!(s.min_trials(&easy), 0);
+    }
+
+    #[test]
+    fn reject_bad_balls_decider_accepts_proper_colorings_deterministically() {
+        let (graph, input, output) = planted_cycle_configuration(48, 0);
+        let ids = IdAssignment::consecutive(&graph);
+        let io = IoConfig::new(&graph, &input, &output);
+        let decider = RejectBadBallsDecider::new(2, 0.8);
+        for t in 0..8 {
+            assert!(decide_randomized(
+                &decider,
+                &io,
+                &ids,
+                SeedSequence::new(t)
+            ));
+        }
+        assert!(decider.name().contains("0.8"));
+    }
+
+    #[test]
+    fn slack_hoisting_is_stream_transparent() {
+        // A prepared point with a deterministic family prebuilds the graph
+        // and ids; the outcome must be identical to the per-trial path.
+        let workload = Workload::SlackColoring { colors: 3, epsilon: 0.6 };
+        let point = GridPoint {
+            index: 0,
+            family: Family::Torus,
+            n: 36,
+            id_scheme: IdScheme::Consecutive,
+            params: Params::ZERO,
+            trials: 8,
+        };
+        let point_seed = SeedSequence::new(42).child(0);
+        let hoisted = workload.prepare(&point, point_seed);
+        assert!(matches!(&hoisted, Prepared::Slack { fixed: Some(_), .. }));
+        let per_trial = Prepared::Slack {
+            colors: 3,
+            epsilon: 0.6,
+            family: Family::Torus,
+            n: 36,
+            id_scheme: IdScheme::Consecutive,
+            fixed: None,
+        };
+        for trial in 0..8 {
+            let seed = point_seed.child(1).child(trial);
+            assert_eq!(hoisted.run_trial(seed), per_trial.run_trial(seed));
+        }
+        // Randomized families stay on the per-trial path.
+        let random_point = GridPoint {
+            family: Family::RandomRegular4,
+            ..point
+        };
+        let prepared = workload.prepare(&random_point, point_seed);
+        assert!(matches!(&prepared, Prepared::Slack { fixed: None, .. }));
+    }
+
+    #[test]
+    fn workload_family_checks() {
+        let slack = Workload::SlackColoring { colors: 3, epsilon: 0.6 };
+        assert!(slack.check_family(Family::Torus).is_ok());
+        let res = Workload::ResilientBoundary { colors: 2 };
+        assert!(res.check_family(Family::Cycle).is_ok());
+        assert!(res.check_family(Family::Torus).is_err());
+        let boost = Workload::BoostingUnion {
+            cycle_size: 12,
+            per_node_fault: 0.05,
+            colors: 3,
+            decider_p: 0.8,
+        };
+        assert!(boost.check_family(Family::Grid).is_err());
+    }
+}

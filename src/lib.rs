@@ -11,6 +11,9 @@
 //!   relaxations, and the Theorem-1 derandomization machinery.
 //! * [`langs`] — concrete languages and algorithms (coloring, Cole–Vishkin,
 //!   MIS, matching, AMOS, LLL, ...).
+//! * [`sweep`] — the declarative scenario-sweep engine: named grids over
+//!   graph family × size × identity scheme × workload, a batched
+//!   reproducible executor, and JSON/CSV/markdown result export.
 //! * [`experiments`] — the harness that regenerates the paper's
 //!   quantitative claims.
 //!
@@ -36,12 +39,14 @@ pub use rlnc_experiments as experiments;
 pub use rlnc_graph as graph;
 pub use rlnc_langs as langs;
 pub use rlnc_par as par;
+pub use rlnc_sweep as sweep;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use rlnc_core::prelude::*;
     pub use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
-    pub use rlnc_par::{MonteCarlo, SeedSequence};
+    pub use rlnc_par::{MonteCarlo, Scale, SeedSequence};
+    pub use rlnc_sweep::{Registry, SweepExecutor};
 }
 
 #[cfg(test)]
@@ -52,5 +57,6 @@ mod tests {
         assert_eq!(graph.node_count(), 5);
         let est = crate::par::MonteCarlo::new(100).estimate(|_| true);
         assert_eq!(est.successes, 100);
+        assert!(crate::sweep::Registry::builtin().get("smoke").is_some());
     }
 }
