@@ -1,11 +1,14 @@
 //! Engineering benchmarks of the LOCAL-model simulator: ball collection,
 //! whole-instance runs (parallel vs sequential), the message-passing
-//! engine, and Monte-Carlo trial throughput.
+//! engine, Monte-Carlo trial throughput, and the engine-vs-legacy
+//! comparison groups (plan-once execution vs collect-per-trial).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rlnc_bench::cycle_instance;
 use rlnc_core::prelude::*;
 use rlnc_core::rounds::run_via_message_passing;
+use rlnc_engine::{BatchRunner, ExecutionPlan};
+use rlnc_graph::arena::BallArena;
 use rlnc_graph::ball::Ball;
 use rlnc_langs::coloring::RankColoring;
 use rlnc_langs::random_coloring::RandomColoring;
@@ -93,11 +96,104 @@ fn bench_monte_carlo_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline engine-vs-legacy group: Monte-Carlo throughput on the ring
+/// workload at smoke scale. `legacy` re-collects every node's view on every
+/// trial; `engine` builds one `ExecutionPlan` per instance and runs all
+/// trials against the cached views. Both evaluate the trial loop
+/// sequentially, so the ratio isolates the plan amortization.
+fn bench_engine_vs_legacy_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-vs-legacy-monte-carlo");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let (graph, input, ids) = cycle_instance(256);
+    let instance = Instance::new(&graph, &input, &ids);
+    let algo = RandomColoring::new(3);
+    let success = |out: &Labeling| out.get(rlnc_graph::NodeId(0)).as_u64() == 1;
+    for &trials in &[200u64, 1_000] {
+        group.throughput(Throughput::Elements(trials));
+        group.bench_function(BenchmarkId::new("legacy", trials), |b| {
+            b.iter(|| {
+                let est = MonteCarlo::new(trials).sequential().estimate(|seed: SeedSequence| {
+                    let out = Simulator::sequential().run_randomized(&algo, &instance, seed);
+                    success(&out)
+                });
+                black_box(est)
+            })
+        });
+        group.bench_function(BenchmarkId::new("engine", trials), |b| {
+            b.iter(|| {
+                let plan = ExecutionPlan::for_instance(&instance, 0);
+                let est = BatchRunner::sequential().estimate(
+                    &algo,
+                    &plan,
+                    trials,
+                    0x5AA5_1DE0_2015_0627,
+                    success,
+                );
+                black_box(est)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Engine-vs-legacy on the decision side: acceptance estimation of the
+/// Corollary-1 resilient decider over a fixed planted configuration.
+fn bench_engine_vs_legacy_decider(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-vs-legacy-decider");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let (graph, input, output) = rlnc_sweep::workload::planted_cycle_configuration(96, 2);
+    let ids = rlnc_graph::IdAssignment::consecutive(&graph);
+    let io = IoConfig::new(&graph, &input, &output);
+    let decider = ResilientDecider::new(rlnc_langs::coloring::ProperColoring::new(2), 4);
+    let trials = 1_000u64;
+    group.throughput(Throughput::Elements(trials));
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            black_box(rlnc_core::decision::acceptance_probability(
+                &decider, &io, &ids, trials, 11,
+            ))
+        })
+    });
+    group.bench_function("engine", |b| {
+        b.iter(|| {
+            let plan = ExecutionPlan::for_io(&io, &ids, 1);
+            black_box(BatchRunner::sequential().acceptance(&decider, &plan, trials, 11))
+        })
+    });
+    group.finish();
+}
+
+/// The arena substrate vs per-node ball extraction.
+fn bench_arena_vs_per_ball_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-vs-legacy-ball-arena");
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000] {
+        let (graph, _, _) = cycle_instance(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("legacy-per-ball", n), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for v in graph.nodes() {
+                    total += Ball::extract(&graph, v, 8).len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_function(BenchmarkId::new("engine-arena", n), |b| {
+            b.iter(|| black_box(BallArena::extract_all(&graph, 8).total_members()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     simulator_perf,
     bench_ball_extraction,
     bench_simulator_parallel_vs_sequential,
     bench_message_passing_engine,
-    bench_monte_carlo_throughput
+    bench_monte_carlo_throughput,
+    bench_engine_vs_legacy_monte_carlo,
+    bench_engine_vs_legacy_decider,
+    bench_arena_vs_per_ball_extraction
 );
 criterion_main!(simulator_perf);

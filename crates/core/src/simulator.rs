@@ -5,6 +5,16 @@
 //! function. Per-node work is independent, so it is parallelized with
 //! Rayon; determinism is preserved because each node's coins are derived
 //! from the (execution seed, node) pair, not from scheduling order.
+//!
+//! Parallelism is decided automatically: a simulator that finds itself
+//! inside an already-parallel region (a Monte-Carlo trial batch, a sweep
+//! work item) evaluates sequentially, so callers never need to thread a
+//! manual "sequential" flag through nested loops. Monte-Carlo estimation
+//! over a fixed instance ([`Simulator::construction_success`]) collects
+//! every node's view **once** via [`View::collect_all`] and reuses the
+//! cached views across all trials — the same plan-then-execute split the
+//! `rlnc-engine` crate exposes as a full subsystem (`ExecutionPlan` +
+//! `BatchRunner`).
 
 use crate::algorithm::{Coins, LocalAlgorithm, RandomizedLocalAlgorithm};
 use crate::config::{Instance, IoConfig};
@@ -30,14 +40,19 @@ impl Default for Simulator {
 }
 
 impl Simulator {
-    /// A parallel simulator (the default).
+    /// A simulator that parallelizes per-node evaluation automatically:
+    /// large instances run on the thread pool **unless** the simulator is
+    /// already executing inside a parallel region (detected via
+    /// `rayon::current_thread_index`), in which case it evaluates
+    /// sequentially to avoid nested-parallelism overhead. Results never
+    /// depend on the choice.
     pub fn new() -> Self {
         Simulator { parallel: true }
     }
 
-    /// Forces sequential per-node evaluation. Useful when the simulator is
-    /// already called from inside a parallel Monte-Carlo loop, to avoid
-    /// nested-parallelism overhead on small graphs.
+    /// Forces sequential per-node evaluation. Rarely needed now that
+    /// [`Simulator::new`] detects nested parallel contexts automatically;
+    /// kept for debugging and for pinning down scheduling in tests.
     pub fn sequential() -> Self {
         Simulator { parallel: false }
     }
@@ -72,6 +87,12 @@ impl Simulator {
     /// Estimates the success probability of a randomized Monte-Carlo
     /// construction algorithm on a fixed instance for a language `L`:
     /// `Pr[(G, (x, C(G,x,id))) ∈ L]` over the algorithm's coins.
+    ///
+    /// The instance is fixed across trials, so every node's view is
+    /// collected **once** ([`View::collect_all`]) and all trials evaluate
+    /// against the cached views; only the coins (and hence the outputs)
+    /// change per trial. The per-trial success stream is bit-identical to
+    /// re-simulating from scratch each trial.
     pub fn construction_success<A, L>(
         &self,
         algo: &A,
@@ -84,9 +105,10 @@ impl Simulator {
         A: RandomizedLocalAlgorithm + ?Sized,
         L: DistributedLanguage + ?Sized,
     {
-        let inner = Simulator::sequential();
+        let views = View::collect_all(instance, algo.radius());
         MonteCarlo::new(trials).with_seed(seed).estimate(|trial_seed| {
-            let output = inner.run_randomized(algo, instance, trial_seed);
+            let coins = Coins::new(trial_seed);
+            let output = Labeling::new(views.iter().map(|v| algo.output(v, &coins)).collect());
             let io = IoConfig::from_instance(instance, &output);
             language.contains(&io)
         })
@@ -98,7 +120,7 @@ impl Simulator {
         F: Fn(NodeId) -> T + Sync,
     {
         let n = instance.graph.node_count();
-        if self.parallel && n >= 64 {
+        if self.parallel && n >= 64 && rayon::current_thread_index().is_none() {
             (0..n)
                 .into_par_iter()
                 .map(|i| f(NodeId::from_index(i)))
@@ -162,6 +184,38 @@ mod tests {
         assert_eq!(out1, out2);
         let out3 = Simulator::new().run_randomized(&algo, &inst, SeedSequence::new(4).child(10));
         assert_ne!(out1, out3);
+    }
+
+    #[test]
+    fn auto_parallelism_never_changes_results_inside_parallel_regions() {
+        // Run the simulator from inside a parallel Monte-Carlo batch (where
+        // the nested-parallelism heuristic forces sequential evaluation) and
+        // outside it; the outputs must agree exactly.
+        let g = cycle(128);
+        let x = Labeling::empty(128);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnRandomizedAlgorithm::new(1, "neighbor-coin", |v: &View, c: &Coins| {
+            let total: u64 = (0..v.len())
+                .map(|i| {
+                    let mut rng = c.for_view_node(v, i);
+                    rng.random::<u64>() & 0xFF
+                })
+                .sum();
+            Label::from_u64(total)
+        });
+        let outer: Vec<Labeling> = (0..4)
+            .map(|t| Simulator::new().run_randomized(&algo, &inst, SeedSequence::new(3).child(t)))
+            .collect();
+        let nested = MonteCarlo::new(4).with_seed(99).summarize(|_| {
+            let inner: Vec<Labeling> = (0..4)
+                .map(|t| {
+                    Simulator::new().run_randomized(&algo, &inst, SeedSequence::new(3).child(t))
+                })
+                .collect();
+            f64::from(inner == outer)
+        });
+        assert_eq!(nested.mean, 1.0);
     }
 
     #[test]

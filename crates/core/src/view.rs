@@ -8,7 +8,8 @@
 //! is always local index `0`.
 
 use crate::config::{Instance, IoConfig};
-use crate::labels::Label;
+use crate::labels::{Label, Labeling};
+use rlnc_graph::arena::BallArena;
 use rlnc_graph::ball::{Ball, BallSignature};
 use rlnc_graph::{Graph, IdAssignment, NodeId};
 
@@ -70,6 +71,113 @@ impl View {
             inputs,
             outputs: Some(outputs),
             host_degree: io.graph.degree(v),
+        }
+    }
+
+    /// Collects the views of **every** node of a construction instance in
+    /// one batched pass.
+    ///
+    /// Ball extraction runs through a single
+    /// [`BallArena`] (one shared bounded-BFS
+    /// scratch, flat member/distance/offset arrays), so this is the fast
+    /// path for Monte-Carlo loops that reuse the same instance across many
+    /// trials: collect once, evaluate per trial. The result is
+    /// bit-identical to calling [`View::collect`] per node.
+    pub fn collect_all(instance: &Instance<'_>, radius: u32) -> Vec<View> {
+        Self::collect_all_inner(instance.graph, instance.input, instance.ids, None, radius)
+    }
+
+    /// Collects the decision views (with outputs) of every node of an
+    /// input-output configuration in one batched pass; the batched
+    /// counterpart of [`View::collect_io`], bit-identical per node.
+    pub fn collect_all_io(io: &IoConfig<'_>, ids: &IdAssignment, radius: u32) -> Vec<View> {
+        Self::collect_all_inner(io.graph, io.input, ids, Some(io.output), radius)
+    }
+
+    /// Shared body of the batched collectors: one arena pass, one
+    /// [`View::from_parts`] per node, outputs gathered when present.
+    fn collect_all_inner(
+        graph: &Graph,
+        input: &Labeling,
+        ids: &IdAssignment,
+        output: Option<&Labeling>,
+        radius: u32,
+    ) -> Vec<View> {
+        let arena = BallArena::extract_all(graph, radius);
+        (0..arena.len())
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                let members = arena.members(i);
+                let id_vec = members.iter().map(|&w| ids.id(w)).collect();
+                let inputs = members.iter().map(|&w| input.get(w).clone()).collect();
+                let outputs = output
+                    .map(|out| members.iter().map(|&w| out.get(w).clone()).collect());
+                View::from_parts(
+                    arena.ball(i),
+                    v,
+                    radius,
+                    id_vec,
+                    inputs,
+                    outputs,
+                    graph.degree(v),
+                )
+            })
+            .collect()
+    }
+
+    /// Assembles a view from pre-extracted parts — the constructor behind
+    /// the batched collectors above (and available to external planners
+    /// that materialize views from their own arenas).
+    ///
+    /// # Panics
+    /// Panics if `ids` or `inputs` (or `outputs`, when present) do not have
+    /// exactly one entry per ball member.
+    pub fn from_parts(
+        ball: Ball,
+        center: NodeId,
+        radius: u32,
+        ids: Vec<u64>,
+        inputs: Vec<Label>,
+        outputs: Option<Vec<Label>>,
+        host_degree: usize,
+    ) -> View {
+        assert_eq!(ball.len(), ids.len(), "one identity per ball member");
+        assert_eq!(ball.len(), inputs.len(), "one input label per ball member");
+        if let Some(outs) = &outputs {
+            assert_eq!(ball.len(), outs.len(), "one output label per ball member");
+        }
+        View {
+            ball,
+            center,
+            radius,
+            ids,
+            inputs,
+            outputs,
+            host_degree,
+        }
+    }
+
+    /// Overwrites this view's output labels from a host-graph labeling,
+    /// following the ball membership. Turns a cached construction view into
+    /// the decision view of `(G, (x, output))` without re-extracting
+    /// anything — the per-trial refresh step of the engine's decision
+    /// scratch.
+    pub fn refresh_outputs(&mut self, output: &Labeling) {
+        match &mut self.outputs {
+            Some(outs) => {
+                for (slot, &w) in outs.iter_mut().zip(&self.ball.members) {
+                    slot.clone_from(output.get(w));
+                }
+            }
+            None => {
+                self.outputs = Some(
+                    self.ball
+                        .members
+                        .iter()
+                        .map(|&w| output.get(w).clone())
+                        .collect(),
+                );
+            }
         }
     }
 
@@ -269,6 +377,96 @@ mod tests {
         let inst = Instance::new(&g, &x, &ids);
         let view = View::collect(&inst, NodeId(0), 1);
         let _ = view.output(0);
+    }
+
+    #[test]
+    fn batched_collection_matches_per_node_collection() {
+        let (g, x, ids) = setup(12);
+        let inst = Instance::new(&g, &x, &ids);
+        for radius in [0u32, 1, 2, 4] {
+            let batched = View::collect_all(&inst, radius);
+            assert_eq!(batched.len(), 12);
+            for v in g.nodes() {
+                let reference = View::collect(&inst, v, radius);
+                let ours = &batched[v.index()];
+                assert_eq!(ours.ball, reference.ball);
+                assert_eq!(ours.ids, reference.ids);
+                assert_eq!(ours.inputs, reference.inputs);
+                assert_eq!(ours.center, reference.center);
+                assert_eq!(ours.center_degree(), reference.center_degree());
+                assert_eq!(ours.signature(), reference.signature());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_io_collection_matches_per_node_collection() {
+        let (g, x, ids) = setup(10);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0) % 3));
+        let io = IoConfig::new(&g, &x, &y);
+        let batched = View::collect_all_io(&io, &ids, 2);
+        for v in g.nodes() {
+            let reference = View::collect_io(&io, &ids, v, 2);
+            let ours = &batched[v.index()];
+            assert_eq!(ours.outputs, reference.outputs);
+            assert_eq!(ours.signature(), reference.signature());
+        }
+    }
+
+    #[test]
+    fn refresh_outputs_turns_construction_views_into_decision_views() {
+        let (g, x, ids) = setup(8);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0) + 10));
+        let io = IoConfig::new(&g, &x, &y);
+        let inst = Instance::new(&g, &x, &ids);
+        let mut views = View::collect_all(&inst, 1);
+        for view in &mut views {
+            assert!(!view.has_outputs());
+            view.refresh_outputs(&y);
+        }
+        for v in g.nodes() {
+            let reference = View::collect_io(&io, &ids, v, 1);
+            assert_eq!(views[v.index()].outputs, reference.outputs);
+        }
+        // Refreshing again with different outputs overwrites in place.
+        let z = Labeling::from_fn(&g, |_| Label::from_u64(7));
+        views[0].refresh_outputs(&z);
+        assert_eq!(views[0].output(0).as_u64(), 7);
+    }
+
+    #[test]
+    fn from_parts_reassembles_a_collected_view() {
+        let (g, x, ids) = setup(9);
+        let inst = Instance::new(&g, &x, &ids);
+        let reference = View::collect(&inst, NodeId(4), 2);
+        let rebuilt = View::from_parts(
+            reference.ball.clone(),
+            reference.center,
+            reference.radius,
+            reference.ids.clone(),
+            reference.inputs.clone(),
+            None,
+            reference.center_degree(),
+        );
+        assert_eq!(rebuilt.signature(), reference.signature());
+        assert_eq!(rebuilt.center_id(), reference.center_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "one identity per ball member")]
+    fn from_parts_rejects_mismatched_ids() {
+        let (g, x, ids) = setup(5);
+        let inst = Instance::new(&g, &x, &ids);
+        let reference = View::collect(&inst, NodeId(0), 1);
+        let _ = View::from_parts(
+            reference.ball.clone(),
+            reference.center,
+            1,
+            vec![1],
+            reference.inputs.clone(),
+            None,
+            2,
+        );
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The batch runner: `(algorithm × plan × K seeds)` in blocked parallel
+//! passes.
+//!
+//! A [`BatchRunner`] owns only scheduling policy. Whether a batch fans out
+//! over the thread pool is decided automatically from `plan size × trial
+//! count` (the total work of the batch), and **never** inside an
+//! already-parallel region — the nested-parallelism heuristic that
+//! replaces the manual `Simulator::sequential()` convention. The choice
+//! can never change a result: every trial's coins derive from
+//! `(trial seed, node)` alone.
+
+use crate::plan::ExecutionPlan;
+use rlnc_core::algorithm::{Coins, LocalAlgorithm, RandomizedLocalAlgorithm};
+use rlnc_core::decision::RandomizedDecider;
+use rlnc_core::labels::Labeling;
+use rlnc_graph::NodeId;
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::stats::Estimate;
+use rlnc_par::sweep::{balanced_ranges, sweep, sweep_sequential};
+use std::ops::Range;
+
+/// Total `plan size × trial count` work below which a batch runs
+/// sequentially (the fan-out bookkeeping would dominate).
+const PARALLEL_WORK_THRESHOLD: u64 = 1 << 14;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Decide from batch work and the nesting context (the default).
+    Auto,
+    /// Never fan out.
+    Sequential,
+}
+
+/// Evaluates algorithms against [`ExecutionPlan`]s, one seed or many.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    mode: Mode,
+    block: u64,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner with automatic parallelism and 64-trial blocks.
+    pub fn new() -> Self {
+        BatchRunner {
+            mode: Mode::Auto,
+            block: 64,
+        }
+    }
+
+    /// A runner that always evaluates sequentially (debugging, or pinning
+    /// scheduling down in tests — results are identical either way).
+    pub fn sequential() -> Self {
+        BatchRunner {
+            mode: Mode::Sequential,
+            block: 64,
+        }
+    }
+
+    /// Overrides the trial block size (trials per parallel work item).
+    /// Results are independent of this knob; it only shapes load balancing.
+    ///
+    /// # Panics
+    /// Panics if `block` is zero.
+    pub fn with_block(mut self, block: u64) -> Self {
+        assert!(block > 0, "block size must be positive");
+        self.block = block;
+        self
+    }
+
+    /// The nested-parallelism heuristic: fan a batch of `trials` executions
+    /// out iff (a) the runner is not already inside a parallel region,
+    /// (b) there is more than one trial, and (c) the total work
+    /// `plan size × trials` clears [`PARALLEL_WORK_THRESHOLD`].
+    fn parallel_trials(&self, plan: &ExecutionPlan, trials: u64) -> bool {
+        match self.mode {
+            Mode::Sequential => false,
+            Mode::Auto => {
+                trials > 1
+                    && rayon::current_thread_index().is_none()
+                    && (plan.work_per_execution() as u64).saturating_mul(trials)
+                        >= PARALLEL_WORK_THRESHOLD
+            }
+        }
+    }
+
+    /// The single-execution variant of the heuristic: fan out over nodes
+    /// iff the one execution alone carries enough work.
+    fn parallel_nodes(&self, plan: &ExecutionPlan) -> bool {
+        match self.mode {
+            Mode::Sequential => false,
+            Mode::Auto => {
+                plan.node_count() >= 64
+                    && rayon::current_thread_index().is_none()
+                    && plan.work_per_execution() as u64 >= PARALLEL_WORK_THRESHOLD
+            }
+        }
+    }
+
+    /// Evaluates a deterministic algorithm once against the plan,
+    /// parallelizing over nodes when the single execution is large enough.
+    pub fn run<A: LocalAlgorithm + ?Sized>(&self, algo: &A, plan: &ExecutionPlan) -> Labeling {
+        if !self.parallel_nodes(plan) {
+            return plan.run(algo);
+        }
+        let chunks = plan.node_count().div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(plan.node_count(), chunks);
+        let parts: Vec<Vec<rlnc_core::labels::Label>> = sweep(ranges, |range: &Range<usize>| {
+            plan.views()[range.clone()].iter().map(|v| algo.output(v)).collect()
+        });
+        Labeling::new(parts.into_iter().flatten().collect())
+    }
+
+    /// Evaluates one execution of a randomized algorithm against the plan,
+    /// parallelizing over nodes when the execution is large enough.
+    pub fn run_randomized<A: RandomizedLocalAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        plan: &ExecutionPlan,
+        execution_seed: SeedSequence,
+    ) -> Labeling {
+        if !self.parallel_nodes(plan) {
+            return plan.run_randomized(algo, execution_seed);
+        }
+        let coins = Coins::new(execution_seed);
+        let chunks = plan.node_count().div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(plan.node_count(), chunks);
+        let parts: Vec<Vec<rlnc_core::labels::Label>> = sweep(ranges, |range: &Range<usize>| {
+            plan.views()[range.clone()]
+                .iter()
+                .map(|v| algo.output(v, &coins))
+                .collect()
+        });
+        Labeling::new(parts.into_iter().flatten().collect())
+    }
+
+    /// Runs one execution per seed and maps each output labeling through
+    /// `f`, returning the results in seed order. Trials are grouped into
+    /// blocks; each block reuses one output buffer, and blocks run in
+    /// parallel when the heuristic says so.
+    pub fn map_executions<A, T, F>(
+        &self,
+        algo: &A,
+        plan: &ExecutionPlan,
+        seeds: &[SeedSequence],
+        f: F,
+    ) -> Vec<T>
+    where
+        A: RandomizedLocalAlgorithm + ?Sized,
+        T: Send,
+        F: Fn(usize, &Labeling) -> T + Sync,
+    {
+        let n = plan.node_count();
+        let run_block = |range: &Range<usize>| -> Vec<T> {
+            let mut out = Labeling::empty(n);
+            let mut results = Vec::with_capacity(range.len());
+            for trial in range.clone() {
+                let coins = Coins::new(seeds[trial]);
+                for (i, view) in plan.views().iter().enumerate() {
+                    out.set(NodeId::from_index(i), algo.output(view, &coins));
+                }
+                results.push(f(trial, &out));
+            }
+            results
+        };
+        // Plans carry a radius; fail fast before spawning anything.
+        assert_eq!(
+            algo.radius(),
+            plan.radius(),
+            "algorithm radius {} does not match plan radius {}",
+            algo.radius(),
+            plan.radius()
+        );
+        let chunks = seeds.len().div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(seeds.len(), chunks);
+        let nested: Vec<Vec<T>> = if self.parallel_trials(plan, seeds.len() as u64) {
+            sweep(ranges, run_block)
+        } else {
+            sweep_sequential(ranges, run_block)
+        };
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Estimates `Pr[success(output)]` over `trials` executions whose seeds
+    /// derive from `(master_seed, trial)` exactly like
+    /// [`MonteCarlo`](rlnc_par::MonteCarlo) — the per-trial success stream
+    /// is bit-identical to running the legacy simulator under
+    /// `MonteCarlo::new(trials).with_seed(master_seed)`.
+    pub fn estimate<A, F>(
+        &self,
+        algo: &A,
+        plan: &ExecutionPlan,
+        trials: u64,
+        master_seed: u64,
+        success: F,
+    ) -> Estimate
+    where
+        A: RandomizedLocalAlgorithm + ?Sized,
+        F: Fn(&Labeling) -> bool + Sync,
+    {
+        let root = SeedSequence::new(master_seed);
+        let seeds: Vec<SeedSequence> = (0..trials).map(|i| root.child(i)).collect();
+        let flags = self.map_executions(algo, plan, &seeds, |_, out| success(out));
+        Estimate::from_counts(flags.into_iter().filter(|&b| b).count() as u64, trials)
+    }
+
+    /// Estimates the acceptance probability `Pr[all nodes accept]` of a
+    /// randomized decider over a **decision plan** (fixed outputs), with
+    /// the same `(master_seed, trial)` seed derivation as
+    /// [`acceptance_probability`](rlnc_core::decision::acceptance_probability).
+    pub fn acceptance<D>(
+        &self,
+        decider: &D,
+        plan: &ExecutionPlan,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        D: RandomizedDecider + ?Sized,
+    {
+        let root = SeedSequence::new(master_seed);
+        let run_block = |range: &Range<usize>| -> u64 {
+            range
+                .clone()
+                .filter(|&trial| plan.decide_randomized(decider, root.child(trial as u64)))
+                .count() as u64
+        };
+        let chunks = (trials as usize).div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(trials as usize, chunks);
+        let counts: Vec<u64> = if self.parallel_trials(plan, trials) {
+            sweep(ranges, run_block)
+        } else {
+            sweep_sequential(ranges, run_block)
+        };
+        Estimate::from_counts(counts.into_iter().sum(), trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnc_core::algorithm::{FnAlgorithm, FnRandomizedAlgorithm};
+    use rlnc_core::config::{Instance, IoConfig};
+    use rlnc_core::decision::{acceptance_probability, FnRandomizedDecider};
+    use rlnc_core::labels::Label;
+    use rlnc_core::simulator::Simulator;
+    use rlnc_core::view::View;
+    use rand::Rng;
+    use rlnc_graph::generators::cycle;
+    use rlnc_graph::IdAssignment;
+    use rlnc_par::trials::MonteCarlo;
+
+    fn fixture(n: usize) -> (rlnc_graph::Graph, Labeling, IdAssignment) {
+        let g = cycle(n);
+        let x = Labeling::empty(n);
+        let ids = IdAssignment::consecutive(&g);
+        (g, x, ids)
+    }
+
+    fn coin_algo() -> FnRandomizedAlgorithm<impl Fn(&View, &Coins) -> Label + Sync> {
+        FnRandomizedAlgorithm::new(1, "coin-sum", |v: &View, c: &Coins| {
+            let total: u64 = (0..v.len())
+                .map(|i| {
+                    let mut rng = c.for_view_node(v, i);
+                    rng.random::<u64>() & 0x7
+                })
+                .sum();
+            Label::from_u64(total)
+        })
+    }
+
+    #[test]
+    fn runner_matches_simulator_for_single_executions() {
+        let (g, x, ids) = fixture(200);
+        let inst = Instance::new(&g, &x, &ids);
+        let plan = ExecutionPlan::for_instance(&inst, 1);
+        let det = FnAlgorithm::new(1, "ids", |v: &View| Label::from_u64(v.center_id()));
+        assert_eq!(
+            BatchRunner::new().run(&det, &plan),
+            Simulator::sequential().run(&det, &inst)
+        );
+        let algo = coin_algo();
+        let seed = SeedSequence::new(77).child(3);
+        assert_eq!(
+            BatchRunner::new().run_randomized(&algo, &plan, seed),
+            Simulator::sequential().run_randomized(&algo, &inst, seed)
+        );
+        assert_eq!(
+            BatchRunner::sequential().run_randomized(&algo, &plan, seed),
+            Simulator::sequential().run_randomized(&algo, &inst, seed)
+        );
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_to_monte_carlo_over_the_simulator() {
+        let (g, x, ids) = fixture(96);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = coin_algo();
+        let plan = ExecutionPlan::for_instance(&inst, 1);
+        let success =
+            |out: &Labeling| out.get(rlnc_graph::NodeId(0)).as_u64() % 2 == 0;
+        let legacy = MonteCarlo::new(400).with_seed(13).estimate(|seed| {
+            let out = Simulator::sequential().run_randomized(&algo, &inst, seed);
+            success(&out)
+        });
+        for runner in [
+            BatchRunner::new(),
+            BatchRunner::sequential(),
+            BatchRunner::new().with_block(7),
+        ] {
+            let engine = runner.estimate(&algo, &plan, 400, 13, success);
+            assert_eq!(engine.successes, legacy.successes);
+            assert_eq!(engine.p_hat, legacy.p_hat);
+        }
+    }
+
+    #[test]
+    fn acceptance_is_bit_identical_to_legacy_acceptance_probability() {
+        let (g, x, ids) = fixture(48);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 2)));
+        let io = IoConfig::new(&g, &x, &y);
+        let decider = FnRandomizedDecider::new(1, "bernoulli", |view: &View, coins: &Coins| {
+            coins.for_center(view).random_bool(0.97)
+        });
+        let plan = ExecutionPlan::for_io(&io, &ids, 1);
+        let legacy = acceptance_probability(&decider, &io, &ids, 600, 5);
+        let engine = BatchRunner::new().acceptance(&decider, &plan, 600, 5);
+        assert_eq!(engine.successes, legacy.successes);
+        let sequential = BatchRunner::sequential().acceptance(&decider, &plan, 600, 5);
+        assert_eq!(sequential.successes, legacy.successes);
+    }
+
+    #[test]
+    fn map_executions_preserves_trial_order() {
+        let (g, x, ids) = fixture(16);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnRandomizedAlgorithm::new(0, "trial-echo", |v: &View, c: &Coins| {
+            let mut rng = c.for_center(v);
+            Label::from_u64(rng.random::<u64>() & 0xFFFF)
+        });
+        let plan = ExecutionPlan::for_instance(&inst, 0);
+        let root = SeedSequence::new(4);
+        let seeds: Vec<SeedSequence> = (0..40).map(|i| root.child(i)).collect();
+        let got = BatchRunner::new().with_block(3).map_executions(&algo, &plan, &seeds, |t, out| {
+            (t, out.get(rlnc_graph::NodeId(0)).as_u64())
+        });
+        for (i, (t, value)) in got.iter().enumerate() {
+            assert_eq!(i, *t);
+            let direct = plan.run_randomized(&algo, seeds[i]);
+            assert_eq!(*value, direct.get(rlnc_graph::NodeId(0)).as_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = BatchRunner::new().with_block(0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based equivalence suite: the engine must be **bit-identical**
+//! to the legacy per-trial `View::collect` path for the same `(seed, node)`
+//! coin derivation — across random graph families, sizes, radii, identity
+//! assignments, seeds, and both deterministic and randomized algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rlnc_core::prelude::*;
+use rlnc_engine::{BatchRunner, ExecutionPlan};
+use rlnc_graph::generators::Family;
+use rlnc_graph::{IdAssignment, NodeId};
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::trials::MonteCarlo;
+
+/// Builds a family member plus inputs and an identity assignment, all
+/// derived from one seed (the randomized families draw their structure
+/// from it too).
+fn instance_parts(
+    family: Family,
+    n: usize,
+    seed: u64,
+) -> (rlnc_graph::Graph, Labeling, IdAssignment) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = family.generate(n, &mut rng);
+    let input = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0) % 5));
+    let ids = if seed % 2 == 0 {
+        IdAssignment::consecutive(&graph)
+    } else {
+        IdAssignment::random_permutation(&graph, &mut rng)
+    };
+    (graph, input, ids)
+}
+
+/// A deterministic algorithm that reads everything a view exposes:
+/// structure, distances, identities, ranks, inputs.
+fn structural_algo(radius: u32) -> FnAlgorithm<impl Fn(&View) -> Label + Sync> {
+    FnAlgorithm::new(radius, "structural-digest", |v: &View| {
+        let mut digest = v.center_id() ^ (v.center_degree() as u64) << 7;
+        for i in 0..v.len() {
+            digest = digest
+                .wrapping_mul(31)
+                .wrapping_add(v.id(i) ^ u64::from(v.distance(i)) << 3)
+                .wrapping_add(v.input(i).as_u64())
+                .wrapping_add(v.rank(i) as u64);
+        }
+        for w in v.center_neighbors() {
+            digest = digest.rotate_left(5) ^ v.id(w);
+        }
+        Label::from_u64(digest)
+    })
+}
+
+/// A randomized algorithm that reads its own coins **and** the coins of
+/// every node in its view — the shared-randomness semantics whose
+/// `(seed, node)` derivation the engine must preserve exactly.
+fn coin_mixing_algo(radius: u32) -> FnRandomizedAlgorithm<impl Fn(&View, &Coins) -> Label + Sync> {
+    FnRandomizedAlgorithm::new(radius, "coin-mixing", |v: &View, c: &Coins| {
+        let mut digest = 0u64;
+        for i in 0..v.len() {
+            let mut rng = c.for_view_node(v, i);
+            digest = digest.wrapping_mul(37).wrapping_add(rng.random::<u64>() >> 8);
+        }
+        let mut own = c.for_center(v);
+        Label::from_u64(digest ^ own.random::<u64>())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn deterministic_runs_are_bit_identical(
+        family_index in 0usize..Family::ALL.len(),
+        n in 8usize..48,
+        radius in 0u32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let family = Family::ALL[family_index];
+        let (graph, input, ids) = instance_parts(family, n, seed);
+        let instance = Instance::new(&graph, &input, &ids);
+        let algo = structural_algo(radius);
+        let plan = ExecutionPlan::for_instance(&instance, radius);
+        let legacy = Simulator::sequential().run(&algo, &instance);
+        prop_assert_eq!(&plan.run(&algo), &legacy);
+        prop_assert_eq!(&BatchRunner::new().run(&algo, &plan), &legacy);
+    }
+
+    #[test]
+    fn randomized_runs_are_bit_identical(
+        family_index in 0usize..Family::ALL.len(),
+        n in 8usize..48,
+        radius in 0u32..3,
+        seed in 0u64..1_000_000,
+        execution in 0u64..1_000,
+    ) {
+        let family = Family::ALL[family_index];
+        let (graph, input, ids) = instance_parts(family, n, seed);
+        let instance = Instance::new(&graph, &input, &ids);
+        let algo = coin_mixing_algo(radius);
+        let plan = ExecutionPlan::for_instance(&instance, radius);
+        let execution_seed = SeedSequence::new(seed).child(execution);
+        let legacy = Simulator::sequential().run_randomized(&algo, &instance, execution_seed);
+        prop_assert_eq!(&plan.run_randomized(&algo, execution_seed), &legacy);
+        prop_assert_eq!(
+            &BatchRunner::new().run_randomized(&algo, &plan, execution_seed),
+            &legacy
+        );
+    }
+
+    #[test]
+    fn monte_carlo_success_streams_are_bit_identical(
+        family_index in 0usize..Family::ALL.len(),
+        n in 8usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let family = Family::ALL[family_index];
+        let (graph, input, ids) = instance_parts(family, n, seed);
+        let instance = Instance::new(&graph, &input, &ids);
+        let algo = coin_mixing_algo(1);
+        let plan = ExecutionPlan::for_instance(&instance, 1);
+        let success = |out: &Labeling| out.get(NodeId(0)).as_u64() % 3 == 0;
+        let legacy = MonteCarlo::new(60).with_seed(seed ^ 0xBEEF).estimate(|s| {
+            let out = Simulator::sequential().run_randomized(&algo, &instance, s);
+            success(&out)
+        });
+        let engine = BatchRunner::new().with_block(13).estimate(
+            &algo, &plan, 60, seed ^ 0xBEEF, success,
+        );
+        prop_assert_eq!(engine.successes, legacy.successes);
+        prop_assert_eq!(engine.p_hat, legacy.p_hat);
+    }
+
+    #[test]
+    fn decision_plans_and_scratches_are_bit_identical(
+        family_index in 0usize..Family::ALL.len(),
+        n in 8usize..32,
+        seed in 0u64..1_000_000,
+        trial in 0u64..500,
+    ) {
+        let family = Family::ALL[family_index];
+        let (graph, input, ids) = instance_parts(family, n, seed);
+        let output = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0) % 2));
+        let io = IoConfig::new(&graph, &input, &output);
+        // A decider reading outputs, neighbor coins, and its own coins.
+        let decider = FnRandomizedDecider::new(1, "noisy-conflict", |view: &View, coins: &Coins| {
+            let mine = view.output(view.center_local());
+            let conflict = view.center_neighbors().iter().any(|&i| view.output(i) == mine);
+            if !conflict {
+                true
+            } else {
+                !coins.for_center(view).random_bool(0.8)
+            }
+        });
+        let execution_seed = SeedSequence::new(seed ^ 0xD0).child(trial);
+        let legacy = decide_randomized(&decider, &io, &ids, execution_seed);
+
+        let plan = ExecutionPlan::for_io(&io, &ids, 1);
+        prop_assert_eq!(plan.decide_randomized(&decider, execution_seed), legacy);
+
+        // The construct-then-decide shape: a construction plan plus a
+        // scratch whose outputs are refreshed per trial.
+        let instance = Instance::new(&graph, &input, &ids);
+        let construction = ExecutionPlan::for_instance(&instance, 1);
+        let mut scratch = construction.decision_scratch();
+        prop_assert_eq!(
+            scratch.decide_randomized(&decider, &output, execution_seed),
+            legacy
+        );
+        // And again with different outputs, to prove the refresh overwrites.
+        let flipped = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0 + 1) % 2));
+        let io_flipped = IoConfig::new(&graph, &input, &flipped);
+        prop_assert_eq!(
+            scratch.decide_randomized(&decider, &flipped, execution_seed),
+            decide_randomized(&decider, &io_flipped, &ids, execution_seed)
+        );
+    }
+
+    #[test]
+    fn construction_success_matches_engine_estimate(
+        n in 8usize..24,
+        seed in 0u64..100_000,
+    ) {
+        // The Simulator's own cached-view Monte-Carlo path and the engine's
+        // BatchRunner must agree with each other (both being bit-identical
+        // to the historical per-trial resimulation stream).
+        let (graph, input, ids) = instance_parts(Family::Cycle, n, seed);
+        let instance = Instance::new(&graph, &input, &ids);
+        let algo = FnRandomizedAlgorithm::new(0, "bit", |v: &View, c: &Coins| {
+            Label::from_bool(c.for_center(v).random_bool(0.5))
+        });
+        let lang = FnLanguage::new("first-node-true", |io: &IoConfig<'_>| {
+            io.output.get(NodeId(0)).as_bool()
+        });
+        let legacy = Simulator::new().construction_success(&algo, &instance, &lang, 40, seed);
+        let plan = ExecutionPlan::for_instance(&instance, 0);
+        let engine = BatchRunner::new().estimate(&algo, &plan, 40, seed, |out| {
+            let io = IoConfig::from_instance(&instance, out);
+            lang.contains(&io)
+        });
+        prop_assert_eq!(engine.successes, legacy.successes);
+    }
+}

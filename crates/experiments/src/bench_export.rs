@@ -1,0 +1,243 @@
+//! `bench-export` — the recorded perf trajectory of the execution engine.
+//!
+//! Measures the engine-vs-legacy hot paths with plain wall-clock timing
+//! (warm-up pass + best-of-N repetitions) and emits a deterministic-schema
+//! JSON document (`BENCH_<pr>.json`). The *values* are machine-dependent —
+//! that is the point: committing one export per PR starts a perf
+//! trajectory the project can read trends from, and CI uploads a fresh
+//! export per run as an artifact.
+//!
+//! The three groups mirror the `simulator_perf` criterion benchmarks:
+//!
+//! * `ring-monte-carlo` — the headline: K Monte-Carlo trials of the
+//!   zero-round random 3-coloring on a consecutive-identity ring,
+//!   legacy (re-collect every view each trial) vs engine
+//!   ([`ExecutionPlan`] once + [`BatchRunner`]). Both sides run the trial
+//!   loop sequentially so the ratio isolates the plan amortization, not
+//!   thread counts.
+//! * `resilient-decider` — the Corollary-1 decider on a planted-conflict
+//!   cycle: legacy `acceptance_probability` (radius-1 views re-collected
+//!   per node per trial) vs the engine's cached decision plan.
+//! * `ball-extraction` — the substrate: per-node `Ball::extract` vs the
+//!   shared-scratch [`BallArena`] pass.
+
+use rlnc_core::decision::acceptance_probability;
+use rlnc_core::prelude::*;
+use rlnc_engine::{BatchRunner, ExecutionPlan};
+use rlnc_graph::arena::BallArena;
+use rlnc_graph::ball::Ball;
+use rlnc_graph::generators::cycle;
+use rlnc_graph::{IdAssignment, NodeId};
+use rlnc_langs::random_coloring::RandomColoring;
+use rlnc_par::trials::MonteCarlo;
+use rlnc_sweep::workload::planted_cycle_configuration;
+use std::time::Instant;
+
+/// One engine-vs-legacy measurement.
+#[derive(Debug, Clone)]
+pub struct BenchGroup {
+    /// Group name (stable across PRs, so trajectories can be joined).
+    pub name: &'static str,
+    /// Instance size.
+    pub n: usize,
+    /// Trials (or repetitions) measured per pass.
+    pub trials: u64,
+    /// Best-of-N wall-clock nanoseconds for the legacy path.
+    pub legacy_ns: u128,
+    /// Best-of-N wall-clock nanoseconds for the engine path.
+    pub engine_ns: u128,
+}
+
+impl BenchGroup {
+    /// Legacy-over-engine speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.engine_ns.max(1) as f64
+    }
+}
+
+/// A full export: the groups plus the mode they ran at.
+#[derive(Debug, Clone)]
+pub struct BenchExport {
+    /// `true` for the CI-friendly quick mode (smaller sizes, fewer reps).
+    pub quick: bool,
+    /// The measurements.
+    pub groups: Vec<BenchGroup>,
+}
+
+/// Best-of-`reps` wall time of `f`, with one untimed warm-up pass.
+fn best_of<F: FnMut()>(reps: u32, mut f: F) -> u128 {
+    f();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best.max(1)
+}
+
+fn ring_monte_carlo(quick: bool) -> BenchGroup {
+    let (n, trials, reps) = if quick { (256, 200u64, 3) } else { (256, 1_000u64, 5) };
+    let graph = cycle(n);
+    let input = Labeling::empty(n);
+    let ids = IdAssignment::consecutive(&graph);
+    let instance = Instance::new(&graph, &input, &ids);
+    let algo = RandomColoring::new(3);
+    let success = |out: &Labeling| out.get(NodeId(0)).as_u64() == 1;
+
+    let legacy_ns = best_of(reps, || {
+        let est = MonteCarlo::new(trials).sequential().with_seed(7).estimate(|seed| {
+            let out = Simulator::sequential().run_randomized(&algo, &instance, seed);
+            success(&out)
+        });
+        assert!(est.p_hat >= 0.0);
+    });
+    let engine_ns = best_of(reps, || {
+        let plan = ExecutionPlan::for_instance(&instance, 0);
+        let est = BatchRunner::sequential().estimate(&algo, &plan, trials, 7, success);
+        assert!(est.p_hat >= 0.0);
+    });
+    BenchGroup {
+        name: "ring-monte-carlo",
+        n,
+        trials,
+        legacy_ns,
+        engine_ns,
+    }
+}
+
+fn resilient_decider(quick: bool) -> BenchGroup {
+    let (n, trials, reps) = if quick { (96, 500u64, 3) } else { (96, 2_000u64, 5) };
+    let (graph, input, output) = planted_cycle_configuration(n, 2);
+    let ids = IdAssignment::consecutive(&graph);
+    let io = IoConfig::new(&graph, &input, &output);
+    let decider = ResilientDecider::new(
+        rlnc_langs::coloring::ProperColoring::new(2),
+        4,
+    );
+
+    let legacy_ns = best_of(reps, || {
+        let est = acceptance_probability(&decider, &io, &ids, trials, 11);
+        assert!(est.p_hat >= 0.0);
+    });
+    let engine_ns = best_of(reps, || {
+        let plan = ExecutionPlan::for_io(&io, &ids, 1);
+        let est = BatchRunner::sequential().acceptance(&decider, &plan, trials, 11);
+        assert!(est.p_hat >= 0.0);
+    });
+    BenchGroup {
+        name: "resilient-decider",
+        n,
+        trials,
+        legacy_ns,
+        engine_ns,
+    }
+}
+
+fn ball_extraction(quick: bool) -> BenchGroup {
+    let (n, radius, reps) = if quick { (1_024, 8u32, 3) } else { (4_096, 8u32, 5) };
+    let graph = cycle(n);
+    let legacy_ns = best_of(reps, || {
+        let mut total = 0usize;
+        for v in graph.nodes() {
+            total += Ball::extract(&graph, v, radius).len();
+        }
+        assert_eq!(total, n * (2 * radius as usize + 1));
+    });
+    let engine_ns = best_of(reps, || {
+        let arena = BallArena::extract_all(&graph, radius);
+        assert_eq!(arena.total_members(), n * (2 * radius as usize + 1));
+    });
+    BenchGroup {
+        name: "ball-extraction-r8",
+        n,
+        trials: 1,
+        legacy_ns,
+        engine_ns,
+    }
+}
+
+/// Runs all engine-vs-legacy measurements.
+pub fn run(quick: bool) -> BenchExport {
+    BenchExport {
+        quick,
+        groups: vec![
+            ring_monte_carlo(quick),
+            resilient_decider(quick),
+            ball_extraction(quick),
+        ],
+    }
+}
+
+/// Serializes an export as deterministic-schema JSON (hand-rolled; the
+/// vendored serde is a no-op stub — same convention as `rlnc-sweep::emit`).
+pub fn to_json(export: &BenchExport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rlnc-bench-export-v1\",\n");
+    out.push_str("  \"bench\": \"engine-vs-legacy\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if export.quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"groups\": [\n");
+    for (i, g) in export.groups.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"n\":{},\"trials\":{},",
+                "\"legacy_ns\":{},\"engine_ns\":{},\"speedup\":{:.2}}}{}\n"
+            ),
+            g.name,
+            g.n,
+            g.trials,
+            g.legacy_ns,
+            g.engine_ns,
+            g.speedup(),
+            if i + 1 < export.groups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable summary printed alongside the export.
+pub fn to_summary(export: &BenchExport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "engine-vs-legacy ({} mode)\n",
+        if export.quick { "quick" } else { "full" }
+    ));
+    for g in &export.groups {
+        out.push_str(&format!(
+            "  {:<20} n={:<6} legacy {:>12} ns  engine {:>12} ns  speedup {:>6.2}x\n",
+            g.name,
+            g.n,
+            g.legacy_ns,
+            g.engine_ns,
+            g.speedup()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_export_measures_and_serializes() {
+        let export = run(true);
+        assert_eq!(export.groups.len(), 3);
+        for group in &export.groups {
+            assert!(group.legacy_ns > 0 && group.engine_ns > 0);
+            assert!(group.speedup() > 0.0);
+        }
+        let json = to_json(&export);
+        assert!(json.contains("\"schema\": \"rlnc-bench-export-v1\""));
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("ring-monte-carlo"));
+        assert!(json.ends_with("}\n"));
+        let summary = to_summary(&export);
+        assert!(summary.contains("speedup"));
+    }
+}

@@ -50,14 +50,14 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
         let inst = Instance::new(&graph, &input, &ids);
         let mc = MonteCarlo::new(trials).with_seed(seed ^ (0xE2 + n as u64));
         let improper = mc.summarize(|seed| {
-            let out = Simulator::sequential().run_randomized(&algo, &inst, seed);
+            let out = Simulator::new().run_randomized(&algo, &inst, seed);
             improperly_colored_nodes(&lang, &IoConfig::new(&graph, &input, &out)) as f64 / n as f64
         });
         mean_improper_overall += improper.mean / sizes.len() as f64;
         let mut eps_cells = Vec::new();
         for (i, &eps) in epsilons.iter().enumerate() {
             let relaxed = EpsilonSlack::new(ProperColoring::new(3), eps);
-            let est = Simulator::sequential().construction_success(&algo, &inst, &relaxed, trials, seed ^ (0xE2 + i as u64));
+            let est = Simulator::new().construction_success(&algo, &inst, &relaxed, trials, seed ^ (0xE2 + i as u64));
             if i == 0 && n == *sizes.last().unwrap() {
                 largest_ring_eps_prob = est.p_hat;
             }

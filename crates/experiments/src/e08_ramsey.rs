@@ -79,7 +79,7 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
         let in_set_ids = IdAssignment::new(refined.iter().take(n).copied().collect());
         let agreement = if in_set_ids.len() == n {
             let inst = Instance::new(&graph, &input, &in_set_ids);
-            let sim = Simulator::sequential();
+            let sim = Simulator::new();
             sim.run(algo, &inst) == sim.run(&lift, &inst)
         } else {
             false

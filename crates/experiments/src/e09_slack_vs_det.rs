@@ -47,9 +47,9 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     // Randomized zero-round coloring.
     let random = RandomColoring::new(3);
     let random_success =
-        Simulator::sequential().construction_success(&random, &inst, &relaxed, trials, seed ^ 0xE9);
+        Simulator::new().construction_success(&random, &inst, &relaxed, trials, seed ^ 0xE9);
     let random_improper = rlnc_par::trials::MonteCarlo::new(trials).with_seed(seed ^ 0x1E9).summarize(|seed| {
-        let out = Simulator::sequential().run_randomized(&random, &inst, seed);
+        let out = Simulator::new().run_randomized(&random, &inst, seed);
         improperly_colored_nodes(&lang, &IoConfig::new(&graph, &input, &out)) as f64 / n as f64
     });
     table.push_row(vec![

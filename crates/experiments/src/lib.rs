@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_export;
 pub mod e01_amos;
 pub mod e02_slack;
 pub mod e03_cole_vishkin;

@@ -11,9 +11,12 @@
 //! rlnc-experiments sweep --scenario smoke --scale smoke --out sweep.json
 //! rlnc-experiments sweep --scenario slack-topologies --csv sweep.csv
 //! rlnc-experiments sweep --check sweep.json   # validate an exported file
+//!
+//! rlnc-experiments bench-export --out BENCH_3.json           # perf trajectory
+//! rlnc-experiments bench-export --quick --out BENCH_ci.json  # CI smoke
 //! ```
 
-use rlnc_experiments::{parse_experiment_id, run_all_seeded, run_by_id_seeded, ExperimentReport, Scale, EXPERIMENTS};
+use rlnc_experiments::{bench_export, parse_experiment_id, run_all_seeded, run_by_id_seeded, ExperimentReport, Scale, EXPERIMENTS};
 use rlnc_sweep::{emit, Registry, SweepExecutor, DEFAULT_SWEEP_SEED};
 use std::io::Write;
 
@@ -51,7 +54,48 @@ fn main() {
         sweep_main(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("bench-export") {
+        bench_export_main(&args[1..]);
+        return;
+    }
     experiments_main(&args);
+}
+
+/// The `bench-export` subcommand: measure the engine-vs-legacy hot paths
+/// and write the perf-trajectory JSON.
+fn bench_export_main(args: &[String]) {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--out requires a file path"),
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: rlnc-experiments bench-export [--quick] [--out FILE.json]");
+                return;
+            }
+            other => usage_error(&format!("unknown bench-export argument: {other}")),
+        }
+        i += 1;
+    }
+    let export = bench_export::run(quick);
+    if let Some(path) = out_path {
+        print!("{}", bench_export::to_summary(&export));
+        write_file(&path, &bench_export::to_json(&export));
+        eprintln!("wrote {path}");
+    } else {
+        // JSON goes to stdout (pipe-friendly), the summary to stderr, so
+        // `bench-export > BENCH_N.json` stays parseable.
+        eprint!("{}", bench_export::to_summary(&export));
+        print!("{}", bench_export::to_json(&export));
+    }
 }
 
 /// The classic E1–E10 driver.
@@ -101,7 +145,8 @@ fn experiments_main(args: &[String]) {
                 eprintln!(
                     "usage: rlnc-experiments [--scale smoke|standard|full] [--seed N] \
                      [--only e1 e2 ...] [--markdown FILE] [--list]\n\
-                     \x20      rlnc-experiments sweep --help"
+                     \x20      rlnc-experiments sweep --help\n\
+                     \x20      rlnc-experiments bench-export [--quick] [--out FILE.json]"
                 );
                 return;
             }

@@ -196,6 +196,40 @@ fn sweep_subcommand_lists_scenarios_and_rejects_unknown_ones() {
 }
 
 #[test]
+fn bench_export_subcommand_writes_the_perf_trajectory() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let out_path = std::env::temp_dir().join(format!(
+        "rlnc-bench-export-{}.json",
+        std::process::id()
+    ));
+    let output = std::process::Command::new(exe)
+        .args(["bench-export", "--quick"])
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("failed to spawn rlnc-experiments bench-export");
+    assert!(
+        output.status.success(),
+        "bench-export failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("engine-vs-legacy"), "stdout:\n{stdout}");
+    assert!(stdout.contains("speedup"), "stdout:\n{stdout}");
+    let written = std::fs::read_to_string(&out_path).expect("JSON export written");
+    assert!(written.contains("\"schema\": \"rlnc-bench-export-v1\""));
+    assert!(written.contains("ring-monte-carlo"));
+    let _ = std::fs::remove_file(&out_path);
+
+    // Unknown flags are usage errors.
+    let bad = std::process::Command::new(exe)
+        .args(["bench-export", "--turbo"])
+        .output()
+        .expect("failed to spawn bench-export");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
 fn cli_binary_rejects_unknown_experiment_ids_and_bad_scales() {
     let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
     // A typo'd id must fail loudly instead of running nothing and exiting 0.

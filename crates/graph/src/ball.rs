@@ -164,8 +164,13 @@ impl BallSignature {
 }
 
 /// Extracts the balls of radius `t` around every node of the graph.
+///
+/// Runs through [`BallArena`](crate::arena::BallArena) so the bounded-BFS
+/// scratch is shared across all extractions; the returned balls are
+/// bit-identical to calling [`Ball::extract`] per node.
 pub fn all_balls(graph: &Graph, radius: u32) -> Vec<Ball> {
-    graph.nodes().map(|v| Ball::extract(graph, v, radius)).collect()
+    let arena = crate::arena::BallArena::extract_all(graph, radius);
+    (0..arena.len()).map(|i| arena.ball(i)).collect()
 }
 
 #[cfg(test)]

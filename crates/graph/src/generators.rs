@@ -324,11 +324,14 @@ pub enum Family {
     /// `circulant(n, {1, 2})` — the squared cycle, a deterministic
     /// 4-regular ring with chords.
     Circulant2,
+    /// `prism(n/2)` — the circular ladder `CL_{n/2}`, a deterministic
+    /// 3-regular counterpart to the random cubic family.
+    Prism,
 }
 
 impl Family {
     /// All families, for exhaustive sweeps.
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 10] = [
         Family::Cycle,
         Family::Path,
         Family::Grid,
@@ -338,6 +341,7 @@ impl Family {
         Family::Torus,
         Family::RandomRegular4,
         Family::Circulant2,
+        Family::Prism,
     ];
 
     /// Human-readable name used in experiment tables.
@@ -352,6 +356,7 @@ impl Family {
             Family::Torus => "torus",
             Family::RandomRegular4 => "random-4-regular",
             Family::Circulant2 => "circulant-1-2",
+            Family::Prism => "prism",
         }
     }
 
@@ -375,7 +380,7 @@ impl Family {
     pub fn degree_bound(&self) -> usize {
         match self {
             Family::Cycle | Family::Path => 2,
-            Family::BinaryTree | Family::Cubic => 3,
+            Family::BinaryTree | Family::Cubic | Family::Prism => 3,
             Family::Grid
             | Family::BoundedDegree4
             | Family::Torus
@@ -405,6 +410,7 @@ impl Family {
             }
             Family::RandomRegular4 => random_regular(n.max(5), 4, rng),
             Family::Circulant2 => circulant(n.max(5), &[1, 2]),
+            Family::Prism => prism((n / 2).max(3)),
         }
     }
 }

@@ -18,6 +18,9 @@
 //! * [`ball`]: extraction of the radius-`t` ball `B_G(v,t)` exactly as
 //!   defined in §2.1 of the paper, plus canonical encodings of labeled
 //!   balls used by the order-invariant machinery.
+//! * [`arena`]: batched extraction of *every* node's ball into flat shared
+//!   arrays with a reusable bounded-BFS scratch — the allocation-free
+//!   substrate of the `rlnc-engine` execution planner.
 //! * [`ops`]: disjoint unions, edge subdivisions, and the Theorem-1
 //!   **gluing** construction that connects hard instances into a single
 //!   connected bounded-degree graph.
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ball;
 pub mod builder;
 pub mod csr;
@@ -33,6 +37,7 @@ pub mod ids;
 pub mod ops;
 pub mod traversal;
 
+pub use arena::{BallArena, BfsScratch};
 pub use ball::{Ball, BallSignature};
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};

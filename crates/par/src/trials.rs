@@ -3,7 +3,10 @@
 //! [`MonteCarlo`] runs `N` independent trials of a user closure. Each trial
 //! receives a [`SeedSequence`] derived from `(master seed, trial index)`,
 //! so results do not depend on the parallel schedule; trials are spread
-//! over the Rayon thread pool.
+//! over the Rayon thread pool. A runner that finds itself already inside a
+//! parallel region (via `rayon::current_thread_index`) degrades to
+//! sequential execution automatically, so nesting Monte-Carlo loops never
+//! multiplies thread counts — and never changes a result.
 
 use crate::rng::SeedSequence;
 use crate::stats::{Estimate, Summary};
@@ -57,11 +60,19 @@ impl MonteCarlo {
         self
     }
 
-    /// Forces sequential execution (useful inside already-parallel outer
-    /// loops or for debugging).
+    /// Forces sequential execution. Rarely needed: a parallel runner
+    /// invoked from inside an already-parallel region detects the nesting
+    /// and runs sequentially on its own; this override remains for
+    /// debugging and scheduling-sensitive tests.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
+    }
+
+    /// Whether this invocation should actually fan out: the configured
+    /// flag, gated on not already running inside a parallel region.
+    fn fan_out(&self) -> bool {
+        self.parallel && rayon::current_thread_index().is_none()
     }
 
     /// Number of trials this runner performs.
@@ -75,7 +86,7 @@ impl MonteCarlo {
     where
         F: Fn(SeedSequence) -> bool + Sync,
     {
-        let successes = if self.parallel {
+        let successes = if self.fan_out() {
             (0..self.trials)
                 .into_par_iter()
                 .map(|i| u64::from(trial(self.trial_seed(i))))
@@ -94,7 +105,7 @@ impl MonteCarlo {
     where
         F: Fn(SeedSequence) -> f64 + Sync,
     {
-        let values: Vec<f64> = if self.parallel {
+        let values: Vec<f64> = if self.fan_out() {
             (0..self.trials)
                 .into_par_iter()
                 .map(|i| trial(self.trial_seed(i)))
@@ -111,7 +122,7 @@ impl MonteCarlo {
     where
         F: Fn(SeedSequence) -> TrialOutcome + Sync,
     {
-        let outcomes: Vec<TrialOutcome> = if self.parallel {
+        let outcomes: Vec<TrialOutcome> = if self.fan_out() {
             (0..self.trials)
                 .into_par_iter()
                 .map(|i| trial(self.trial_seed(i)))

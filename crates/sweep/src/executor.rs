@@ -163,10 +163,11 @@ impl SweepExecutor {
         let run_item = |&(slot, ref range): &(usize, std::ops::Range<usize>)| {
             let (_, point_seq, prep) = &prepared[slot];
             let trial_root = point_seq.child(1);
+            let mut scratch = prep.scratch();
             let mut successes = 0u64;
             let mut values = Vec::with_capacity(range.len());
             for trial in range.clone() {
-                let outcome = prep.run_trial(trial_root.child(trial as u64));
+                let outcome = prep.run_trial_with(&mut scratch, trial_root.child(trial as u64));
                 successes += u64::from(outcome.success);
                 values.push(outcome.value);
             }

@@ -47,7 +47,7 @@ impl Registry {
         });
         registry.insert(ScenarioSpec {
             name: "slack-topologies".into(),
-            description: "ε-slack random coloring across bounded-degree topologies the paper never tests (torus, random 4-regular, circulant) and identity schemes".into(),
+            description: "ε-slack random coloring across bounded-degree topologies the paper never tests (torus, random 4-regular, circulant, prism) and identity schemes".into(),
             families: vec![
                 Family::Cycle,
                 Family::Grid,
@@ -56,6 +56,7 @@ impl Registry {
                 Family::Torus,
                 Family::RandomRegular4,
                 Family::Circulant2,
+                Family::Prism,
             ],
             sizes: vec![64, 144],
             id_schemes: vec![IdScheme::Consecutive, IdScheme::RandomPermutation],
@@ -161,6 +162,27 @@ mod tests {
         registry.insert(spec);
         assert_eq!(registry.names().len(), before);
         assert_eq!(registry.get("smoke").unwrap().base_trials, 7);
+    }
+
+    #[test]
+    fn slack_topologies_covers_the_prism_family() {
+        let registry = Registry::builtin();
+        let spec = registry.get("slack-topologies").expect("slack-topologies");
+        assert!(
+            spec.families.contains(&Family::Prism),
+            "the prism generator must be exercised by a registry scenario"
+        );
+        // And the grid actually materializes prism points that run.
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        let prism_point = grid
+            .iter()
+            .find(|p| p.family == Family::Prism)
+            .expect("a prism grid point");
+        let prepared = spec
+            .workload
+            .prepare(prism_point, rlnc_par::SeedSequence::new(1).child(prism_point.index));
+        let outcome = prepared.run_trial(rlnc_par::SeedSequence::new(1).child(0));
+        assert!((0.0..=1.0).contains(&outcome.value));
     }
 
     #[test]

@@ -6,16 +6,27 @@
 //! [`Prepared`] point is the executable half, built once per grid point by
 //! [`Workload::prepare`] and then driven trial-by-trial with independent
 //! [`SeedSequence`]s by the executor.
+//!
+//! Preparation goes through the `rlnc-engine` planner: everything that is
+//! fixed across a grid point's trials (graphs, identity assignments,
+//! planted outputs — and, crucially, every node's extracted ball) is baked
+//! into [`ExecutionPlan`]s once, so a trial only evaluates algorithm and
+//! decider output functions against cached views. The trial streams are
+//! bit-identical to the legacy collect-per-trial path (the engine's
+//! equivalence suite pins this down).
 
 use crate::spec::{GridPoint, IdScheme};
 use rlnc_core::algorithm::Coins;
-use rlnc_core::decision::{decide_randomized, RandomizedDecider};
+use rlnc_core::decision::RandomizedDecider;
 use rlnc_core::derand::boosting::build_disjoint_union;
-use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstance};
+use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
 use rlnc_core::language::DistributedLanguage;
-use rlnc_core::prelude::{Instance, IoConfig, Label, Labeling, Simulator, View};
+use rlnc_core::prelude::{
+    Instance, IoConfig, Label, Labeling, RandomizedLocalAlgorithm, Simulator, View,
+};
 use rlnc_core::relaxation::EpsilonSlack;
 use rlnc_core::resilient::{theoretical_acceptance, ResilientDecider};
+use rlnc_engine::{DecisionScratch, ExecutionPlan};
 use rlnc_graph::generators::{cycle, Family};
 use rlnc_graph::{Graph, IdAssignment, NodeId};
 use rlnc_langs::coloring::{improperly_colored_nodes, GlobalGreedyColoring, ProperColoring};
@@ -154,6 +165,16 @@ impl Workload {
                     };
                     Some((graph, input, ids))
                 };
+                // Fully fixed instances (deterministic family *and* id
+                // scheme) are planned once: the engine caches every node's
+                // view for all trials of the grid point.
+                let plan = match &fixed {
+                    Some((graph, input, Some(ids))) => {
+                        let instance = Instance::new(graph, input, ids);
+                        Some(ExecutionPlan::for_instance(&instance, 0))
+                    }
+                    _ => None,
+                };
                 Prepared::Slack {
                     colors,
                     epsilon,
@@ -161,6 +182,7 @@ impl Workload {
                     n: point.n,
                     id_scheme: point.id_scheme,
                     fixed,
+                    plan,
                 }
             }
             Workload::ResilientBoundary { colors } => {
@@ -168,13 +190,12 @@ impl Workload {
                 let (graph, input, output) = planted_cycle_configuration(point.n, point.params.b);
                 let ids = point.id_scheme.build(&graph, &mut prep_rng);
                 let decider = ResilientDecider::new(ProperColoring::new(colors), f);
-                Prepared::Resilient {
-                    graph,
-                    input,
-                    output,
-                    ids,
-                    decider,
-                }
+                // Graph, identities, *and* outputs are fixed, so the whole
+                // decision configuration is planned once; a trial only
+                // re-draws the decider's coins.
+                let io = IoConfig::new(&graph, &input, &output);
+                let plan = ExecutionPlan::for_io(&io, &ids, RandomizedDecider::radius(&decider));
+                Prepared::Resilient { decider, plan }
             }
             Workload::BoostingUnion {
                 cycle_size,
@@ -191,10 +212,21 @@ impl Workload {
                     Label::from_u64(0),
                 );
                 let decider = RejectBadBallsDecider::new(colors, decider_p);
+                let instance = union.as_instance();
+                let construction_plan = ExecutionPlan::for_instance(
+                    &instance,
+                    RandomizedLocalAlgorithm::radius(&constructor),
+                );
+                // The decider's outputs vary per trial, so its plan carries
+                // construction views whose outputs a per-batch
+                // [`DecisionScratch`] refreshes.
+                let decision_plan =
+                    ExecutionPlan::for_instance(&instance, RandomizedDecider::radius(&decider));
                 Prepared::Boosting {
-                    union,
                     constructor,
                     decider,
+                    construction_plan,
+                    decision_plan,
                 }
             }
         }
@@ -203,9 +235,10 @@ impl Workload {
 
 /// The executable state of one grid point (see [`Workload::prepare`]).
 pub enum Prepared {
-    /// ε-slack random coloring: deterministic instances are prebuilt,
-    /// randomized families/id schemes are rebuilt per trial from the trial
-    /// seed.
+    /// ε-slack random coloring: deterministic instances are prebuilt (and,
+    /// when the identities are deterministic too, planned into cached
+    /// views); randomized families/id schemes are rebuilt per trial from
+    /// the trial seed.
     Slack {
         /// Palette size.
         colors: u64,
@@ -221,37 +254,65 @@ pub enum Prepared {
         /// ids, the scheme) is deterministic; `None` means per-trial
         /// regeneration.
         fixed: Option<(Graph, Labeling, Option<IdAssignment>)>,
+        /// The engine plan over the fully fixed instance (present exactly
+        /// when `fixed` carries an identity assignment).
+        plan: Option<ExecutionPlan>,
     },
-    /// Resilient-decider boundary: the planted configuration is fixed, only
-    /// the decider's coins vary per trial.
+    /// Resilient-decider boundary: the planted configuration is fixed, so
+    /// the whole decision plan (views with outputs) is cached; only the
+    /// decider's coins vary per trial.
     Resilient {
-        /// The even cycle carrying the planted conflicts.
-        graph: Graph,
-        /// Empty input labeling.
-        input: Labeling,
-        /// The 2-coloring with planted conflicts.
-        output: Labeling,
-        /// Identity assignment.
-        ids: IdAssignment,
         /// The Corollary-1 decider.
         decider: ResilientDecider<ProperColoring>,
+        /// Cached decision views of the planted configuration.
+        plan: ExecutionPlan,
     },
     /// Boosting union: the composite instance and both algorithms are
     /// fixed, construction and decision coins vary per trial.
     Boosting {
-        /// Disjoint union of ν hard cycles with disjoint identity ranges.
-        union: HardInstance,
         /// The fault-injected colorer.
         constructor: FaultyConstructor<GlobalGreedyColoring>,
         /// The one-sided rejecting decider.
         decider: RejectBadBallsDecider,
+        /// Cached construction views at the constructor's radius.
+        construction_plan: ExecutionPlan,
+        /// Cached radius-1 views whose outputs a [`DecisionScratch`]
+        /// refreshes per trial.
+        decision_plan: ExecutionPlan,
     },
 }
 
+/// Reusable per-batch state for [`Prepared::run_trial_with`]: holds the
+/// decision scratch of the boosting kernel (cloned cached views whose
+/// output labels are overwritten per trial). Create one per trial batch
+/// via [`Prepared::scratch`], not per trial.
+pub struct TrialScratch {
+    decision: Option<DecisionScratch>,
+}
+
 impl Prepared {
+    /// Creates the per-batch scratch for this grid point.
+    pub fn scratch(&self) -> TrialScratch {
+        TrialScratch {
+            decision: match self {
+                Prepared::Boosting { decision_plan, .. } => {
+                    Some(decision_plan.decision_scratch())
+                }
+                _ => None,
+            },
+        }
+    }
+
     /// Runs one Monte-Carlo trial; `seed` is this trial's leaf of the
-    /// `(scenario, grid point, trial)` seed tree.
+    /// `(scenario, grid point, trial)` seed tree. Convenience wrapper over
+    /// [`Prepared::run_trial_with`] that pays the scratch setup per call —
+    /// batch drivers should create one [`TrialScratch`] per batch instead.
     pub fn run_trial(&self, seed: SeedSequence) -> TrialOutcome {
+        self.run_trial_with(&mut self.scratch(), seed)
+    }
+
+    /// Runs one Monte-Carlo trial against a reusable [`TrialScratch`].
+    pub fn run_trial_with(&self, scratch: &mut TrialScratch, seed: SeedSequence) -> TrialOutcome {
         match self {
             Prepared::Slack {
                 colors,
@@ -260,7 +321,9 @@ impl Prepared {
                 n,
                 id_scheme,
                 fixed,
+                plan,
             } => {
+                let algo = RandomColoring::new(*colors);
                 let generated: Option<(Graph, Labeling)>;
                 let (graph, input): (&Graph, &Labeling) = match fixed {
                     Some((graph, input, _)) => (graph, input),
@@ -273,20 +336,25 @@ impl Prepared {
                         (g, i)
                     }
                 };
-                let generated_ids: Option<IdAssignment>;
-                let ids: &IdAssignment =
-                    match fixed.as_ref().and_then(|(_, _, ids)| ids.as_ref()) {
-                        Some(ids) => ids,
-                        None => {
-                            generated_ids =
-                                Some(id_scheme.build(graph, &mut seed.child(1).rng()));
-                            generated_ids.as_ref().unwrap()
-                        }
-                    };
+                let out = match plan {
+                    // Fully fixed instance: evaluate against cached views.
+                    Some(plan) => plan.run_randomized(&algo, seed.child(2)),
+                    None => {
+                        let generated_ids: Option<IdAssignment>;
+                        let ids: &IdAssignment =
+                            match fixed.as_ref().and_then(|(_, _, ids)| ids.as_ref()) {
+                                Some(ids) => ids,
+                                None => {
+                                    generated_ids =
+                                        Some(id_scheme.build(graph, &mut seed.child(1).rng()));
+                                    generated_ids.as_ref().unwrap()
+                                }
+                            };
+                        let inst = Instance::new(graph, input, ids);
+                        Simulator::new().run_randomized(&algo, &inst, seed.child(2))
+                    }
+                };
                 let actual_n = graph.node_count();
-                let inst = Instance::new(graph, input, ids);
-                let algo = RandomColoring::new(*colors);
-                let out = Simulator::sequential().run_randomized(&algo, &inst, seed.child(2));
                 let io = IoConfig::new(graph, input, &out);
                 let lang = ProperColoring::new(*colors);
                 let improper = improperly_colored_nodes(&lang, &io) as f64 / actual_n as f64;
@@ -296,25 +364,30 @@ impl Prepared {
                     value: improper,
                 }
             }
-            Prepared::Resilient {
-                graph,
-                input,
-                output,
-                ids,
-                decider,
-            } => {
-                let io = IoConfig::new(graph, input, output);
-                TrialOutcome::from_bool(decide_randomized(decider, &io, ids, seed))
+            Prepared::Resilient { decider, plan } => {
+                TrialOutcome::from_bool(plan.decide_randomized(decider, seed))
             }
             Prepared::Boosting {
-                union,
                 constructor,
                 decider,
+                construction_plan,
+                decision_plan,
             } => {
-                let inst = union.as_instance();
-                let out = Simulator::sequential().run_randomized(constructor, &inst, seed.child(0));
-                let io = IoConfig::from_instance(&inst, &out);
-                TrialOutcome::from_bool(decide_randomized(decider, &io, &union.ids, seed.child(1)))
+                let out = construction_plan.run_randomized(constructor, seed.child(0));
+                let decision = scratch
+                    .decision
+                    .get_or_insert_with(|| decision_plan.decision_scratch());
+                assert_eq!(
+                    decision.plan_id(),
+                    decision_plan.id(),
+                    "TrialScratch does not belong to this grid point (build it \
+                     with this Prepared's scratch())"
+                );
+                TrialOutcome::from_bool(decision.decide_randomized(
+                    decider,
+                    &out,
+                    seed.child(1),
+                ))
             }
         }
     }
@@ -390,6 +463,7 @@ pub fn planted_bad_balls(n: usize, planted: u64) -> usize {
 mod tests {
     use super::*;
     use crate::spec::Params;
+    use rlnc_core::decision::decide_randomized;
     use rlnc_core::language::bad_ball_count;
 
     #[test]
@@ -478,7 +552,10 @@ mod tests {
         };
         let point_seed = SeedSequence::new(42).child(0);
         let hoisted = workload.prepare(&point, point_seed);
-        assert!(matches!(&hoisted, Prepared::Slack { fixed: Some(_), .. }));
+        assert!(matches!(
+            &hoisted,
+            Prepared::Slack { fixed: Some(_), plan: Some(_), .. }
+        ));
         let per_trial = Prepared::Slack {
             colors: 3,
             epsilon: 0.6,
@@ -486,6 +563,7 @@ mod tests {
             n: 36,
             id_scheme: IdScheme::Consecutive,
             fixed: None,
+            plan: None,
         };
         for trial in 0..8 {
             let seed = point_seed.child(1).child(trial);
@@ -497,7 +575,18 @@ mod tests {
             ..point
         };
         let prepared = workload.prepare(&random_point, point_seed);
-        assert!(matches!(&prepared, Prepared::Slack { fixed: None, .. }));
+        assert!(matches!(&prepared, Prepared::Slack { fixed: None, plan: None, .. }));
+        // Deterministic graph + randomized ids: prebuilt graph, no plan.
+        let mixed_point = GridPoint {
+            id_scheme: IdScheme::RandomPermutation,
+            ..point
+        };
+        let mixed = workload.prepare(&mixed_point, point_seed);
+        assert!(matches!(&mixed, Prepared::Slack { fixed: Some(_), plan: None, .. }));
+        for trial in 0..4 {
+            let seed = point_seed.child(1).child(trial);
+            assert_eq!(mixed.run_trial(seed), mixed.run_trial(seed));
+        }
     }
 
     #[test]

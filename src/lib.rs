@@ -9,6 +9,9 @@
 //!   statistics.
 //! * [`core`] — the LOCAL model, languages, decision classes (LD/BPLD),
 //!   relaxations, and the Theorem-1 derandomization machinery.
+//! * [`engine`] — the batched execution engine: build an `ExecutionPlan`
+//!   once per fixed instance, run `algorithm × K seeds` against cached
+//!   views with a `BatchRunner` (bit-identical to the per-trial path).
 //! * [`langs`] — concrete languages and algorithms (coloring, Cole–Vishkin,
 //!   MIS, matching, AMOS, LLL, ...).
 //! * [`sweep`] — the declarative scenario-sweep engine: named grids over
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use rlnc_core as core;
+pub use rlnc_engine as engine;
 pub use rlnc_experiments as experiments;
 pub use rlnc_graph as graph;
 pub use rlnc_langs as langs;
@@ -44,6 +48,7 @@ pub use rlnc_sweep as sweep;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use rlnc_core::prelude::*;
+    pub use rlnc_engine::{BatchRunner, ExecutionPlan};
     pub use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
     pub use rlnc_par::{MonteCarlo, Scale, SeedSequence};
     pub use rlnc_sweep::{Registry, SweepExecutor};
@@ -58,5 +63,10 @@ mod tests {
         let est = crate::par::MonteCarlo::new(100).estimate(|_| true);
         assert_eq!(est.successes, 100);
         assert!(crate::sweep::Registry::builtin().get("smoke").is_some());
+        let input = crate::core::labels::Labeling::empty(5);
+        let ids = crate::graph::IdAssignment::consecutive(&graph);
+        let instance = crate::core::config::Instance::new(&graph, &input, &ids);
+        let plan = crate::engine::ExecutionPlan::for_instance(&instance, 1);
+        assert_eq!(plan.node_count(), 5);
     }
 }

@@ -21,6 +21,19 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+std::thread_local! {
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// If the current thread is a worker of a parallel operation, returns its
+/// index within that operation; `None` on threads outside any parallel
+/// region (matching upstream rayon's API). Callers use this to avoid
+/// nested parallelism: a computation already running inside a parallel
+/// region should process its own work sequentially.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|cell| cell.get())
+}
+
 /// Splits `items` into per-thread chunks, applies `f` in parallel, and
 /// returns the results in the original order.
 fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -46,7 +59,13 @@ where
     let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(index, chunk)| {
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|cell| cell.set(Some(index)));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -219,6 +238,20 @@ mod tests {
         let data = vec![10, 20, 30];
         let v: Vec<usize> = data.par_iter().enumerate().map(|(i, &x)| i + x).collect();
         assert_eq!(v, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn worker_threads_know_their_index() {
+        assert_eq!(crate::current_thread_index(), None);
+        let indices: Vec<Option<usize>> = (0..4 * crate::current_num_threads())
+            .into_par_iter()
+            .map(|_| crate::current_thread_index())
+            .collect();
+        if crate::current_num_threads() > 1 {
+            assert!(indices.iter().all(|i| i.is_some()));
+        }
+        // Back on the caller thread, the marker must be gone.
+        assert_eq!(crate::current_thread_index(), None);
     }
 
     #[test]
