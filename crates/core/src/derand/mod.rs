@@ -15,6 +15,16 @@
 //! * [`ramsey`] — Appendix A / Claim 1: turning an arbitrary algorithm into
 //!   an order-invariant one by restricting identities to a Ramsey-style
 //!   consistent ID set.
+//!
+//! The Monte-Carlo estimators in these modules are the **reference
+//! implementations**: simple per-trial loops that re-collect every view
+//! (and, for the gluing's far-from-anchor events, re-run one BFS per
+//! anchor) on every trial. The production path lives in the `rlnc-derand`
+//! crate, whose staged pipeline routes the same computations through
+//! `rlnc-engine` composite plans — bit-identical streams (the engine's
+//! equivalence suite proves it against the functions here), typically
+//! several times faster (see the `boosted-union-acceptance` and
+//! `glued-acceptance` groups of `rlnc-experiments bench-export`).
 
 pub mod boosting;
 pub mod gluing;

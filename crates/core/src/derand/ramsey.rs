@@ -268,7 +268,7 @@ mod tests {
         let inst = Instance::new(&g, &x, &ids);
         let inner = FnAlgorithm::new(1, "rank", |v: &View| Label::from_u64(v.center_rank() as u64));
         let lift = OrderInvariantLift::new(&inner, (100..200).collect());
-        let sim = Simulator::sequential();
+        let sim = Simulator::new();
         assert_eq!(sim.run(&inner, &inst), sim.run(&lift, &inst));
     }
 
@@ -321,7 +321,7 @@ mod tests {
         );
         let inst = Instance::new(&g, &x, &in_set_ids);
         let lift = OrderInvariantLift::new(&algo, refined.clone());
-        let sim = Simulator::sequential();
+        let sim = Simulator::new();
         assert_eq!(sim.run(&algo, &inst), sim.run(&lift, &inst));
     }
 }

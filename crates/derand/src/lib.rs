@@ -1,0 +1,54 @@
+//! # rlnc-derand — the engine-backed Theorem-1 derandomization pipeline
+//!
+//! The proof of Theorem 1 is a four-stage machine: the Ramsey lift of
+//! Claim 1 (restrict to an identity set on which the algorithm is
+//! order-invariant), the hard-instance search of Claim 2 (one failing
+//! instance per candidate algorithm, with diameter and identity-floor side
+//! conditions), the error boosting of Claim 3 (acceptance on the disjoint
+//! union of `ν` hard instances decays like `(1 − βp)^ν`), and the connected
+//! gluing of Claims 4–5 (reconnect the union without hiding the failure).
+//! `rlnc_core::derand` implements each stage faithfully — but its
+//! estimators re-extract every ball on every Monte-Carlo trial and re-run
+//! one BFS per anchor per trial, and the E6–E8 drivers were hard-wired to
+//! one concrete coloring constructor.
+//!
+//! This crate turns the argument into a reusable subsystem:
+//!
+//! * [`DerandPipeline`] drives the four stages **generically** over any
+//!   [`DistributedLanguage`](rlnc_core::DistributedLanguage) plus
+//!   constructor/decider pair, producing one typed, cacheable artifact per
+//!   stage ([`RamseyStage`], [`HardInstanceStage`], [`UnionStage`],
+//!   [`GluedStage`]) that downstream callers — the sweep workloads, the
+//!   E6–E8 drivers, `bench-export` — can inspect, reuse across trial
+//!   batches, and export.
+//! * Every estimator routes through `rlnc-engine`: composite instances are
+//!   planned once ([`UnionPlan`](rlnc_engine::UnionPlan) /
+//!   [`GluedPlan`](rlnc_engine::GluedPlan), one
+//!   [`BallArena`](rlnc_graph::arena::BallArena) pass over the combined
+//!   CSR) and evaluated for K seeds in blocked passes. The per-trial
+//!   streams are **bit-identical** to the legacy
+//!   `rlnc_core::derand` estimators (same `(master, trial)` seed tree, same
+//!   `child(0)`/`child(1)` constructor/decider split) — the engine
+//!   equivalence suite proves it against
+//!   `boosting::disjoint_union_acceptance` and the `GluingExperiment`
+//!   estimators, which remain in `rlnc-core` as the reference
+//!   implementations.
+//! * [`OneSidedLclDecider`] supplies the standard one-sided BPLD decider
+//!   for **any** LCL language (accept good centers, reject bad centers with
+//!   probability `p`), and [`cases`] packages ready-made
+//!   language/constructor/decider bundles (3-coloring, `amos`, weak
+//!   2-coloring) for the `theorem1-pipeline` sweep scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod decider;
+pub mod pipeline;
+
+pub use cases::{CaseBundle, PipelineCase};
+pub use decider::OneSidedLclDecider;
+pub use pipeline::{
+    deterministic_agreement, failure_probability_with, lift_agrees_with, ramsey_stage,
+    DerandPipeline, GluedStage, HardInstanceStage, PipelineParams, RamseyStage, UnionStage,
+};

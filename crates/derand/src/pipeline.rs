@@ -1,0 +1,562 @@
+//! The staged, engine-backed Theorem-1 pipeline and its typed artifacts.
+//!
+//! Stage order follows the proof: **ramsey** (Claim 1) → **hard instances**
+//! (Claim 2) → **boosted disjoint union** (Claim 3) → **connected gluing**
+//! (Claims 4–5). Each stage returns an owned artifact that can be cached
+//! across trial batches, inspected, and fed to the next stage; all
+//! Monte-Carlo estimation routes through `rlnc-engine` plans built once per
+//! composite instance.
+//!
+//! ## Determinism contract
+//!
+//! Every estimator reproduces the legacy `rlnc_core::derand` streams
+//! bit-for-bit:
+//!
+//! * [`DerandPipeline::failure_probability`] matches
+//!   `HardInstanceSearch::failure_probability` (cached views + the
+//!   `MonteCarlo` `(master, trial)` derivation),
+//! * [`DerandPipeline::union_acceptance`] matches
+//!   `boosting::disjoint_union_acceptance`,
+//! * [`DerandPipeline::glued_acceptance`] /
+//!   [`DerandPipeline::glued_far_acceptance`] match the
+//!   `GluingExperiment` estimators (the far event's per-trial BFS is
+//!   replaced by a participation set computed once — same verdicts, since a
+//!   node's coins depend only on `(trial seed, node)`).
+//!
+//! The engine equivalence suite (`crates/engine/tests/equivalence.rs`)
+//! pins these claims down at seed 0 and beyond.
+
+use crate::decider::OneSidedLclDecider;
+use rlnc_core::algorithm::{LocalAlgorithm, RandomizedLocalAlgorithm};
+use rlnc_core::config::{Instance, IoConfig};
+use rlnc_core::decision::RandomizedDecider;
+use rlnc_core::derand::gluing::{anchor_candidates, anchor_count, GluingExperiment};
+use rlnc_core::derand::hard_instances::HardInstance;
+use rlnc_core::derand::ramsey::{collect_templates, consistent_id_set, OrderInvariantLift};
+use rlnc_core::language::{DistributedLanguage, LclLanguage};
+use rlnc_engine::{BatchRunner, ExecutionPlan, GluedPlan, UnionPlan};
+use rlnc_graph::NodeId;
+use rlnc_par::stats::Estimate;
+
+/// The quantitative knobs of the Theorem-1 argument.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineParams {
+    /// The success probability `r` the hypothetical constructor claims.
+    pub r: f64,
+    /// The decider's guarantee `p > 1/2`.
+    pub p: f64,
+    /// The constructor's radius `t` (enters the anchor separation).
+    pub t: u32,
+    /// The decider's radius `t'`.
+    pub t_prime: u32,
+}
+
+impl PipelineParams {
+    /// The exclusion radius `t + t'` of the far-from-anchor events.
+    pub fn exclusion_radius(&self) -> u32 {
+        self.t + self.t_prime
+    }
+
+    /// `µ = ⌈1/(2p−1)⌉`, the Claim-4 anchor count.
+    pub fn mu(&self) -> usize {
+        anchor_count(self.p)
+    }
+}
+
+/// Stage-1 artifact (Claim 1 / Appendix A): the Ramsey-refined identity
+/// set on which the wrapped algorithm is consistent for every observed
+/// ball type.
+#[derive(Debug, Clone)]
+pub struct RamseyStage {
+    /// The refined (sorted) identity set `U`.
+    pub id_set: Vec<u64>,
+    /// Size of the universe the refinement started from.
+    pub universe_size: usize,
+    /// Number of distinct ball templates consistency was enforced on.
+    pub templates: usize,
+}
+
+impl RamseyStage {
+    /// Fraction of the universe that survived the refinement.
+    pub fn survival_rate(&self) -> f64 {
+        self.id_set.len() as f64 / self.universe_size.max(1) as f64
+    }
+}
+
+/// Stage-2 artifact (Claim 2): one failing instance per candidate
+/// algorithm, identity ranges pairwise disjoint.
+#[derive(Debug, Clone)]
+pub struct HardInstanceStage {
+    /// The hard-instance pool, in algorithm order.
+    pub pool: Vec<HardInstance>,
+    /// Algorithms for which no failing candidate was found.
+    pub missing: usize,
+}
+
+/// Stage-3 artifact (Claim 3): the disjoint union of `ν` hard instances,
+/// planned once for batched evaluation.
+#[derive(Debug, Clone)]
+pub struct UnionStage {
+    /// Number of components `ν`.
+    pub nu: usize,
+    /// The engine plan over the combined CSR (per-component offsets
+    /// included).
+    pub plan: UnionPlan,
+}
+
+/// Stage-4 artifact (Claims 4–5): the connected gluing, planned once, with
+/// the far-from-anchors participation set precomputed.
+#[derive(Debug, Clone)]
+pub struct GluedStage {
+    /// Number of glued parts `ν'`.
+    pub nu: usize,
+    /// The Claim-4 anchor count `µ` of the pipeline's `p`.
+    pub mu: usize,
+    /// The engine plan (anchors, exclusion radius, participants baked in).
+    pub plan: GluedPlan,
+    /// The glued instance itself, for structural inspection (connectivity,
+    /// degree bound) and export.
+    pub instance: HardInstance,
+}
+
+/// The staged derandomization pipeline, generic over the language and the
+/// constructor/decider pair under attack.
+#[derive(Debug, Clone, Copy)]
+pub struct DerandPipeline<'a, C: ?Sized, D: ?Sized, L: ?Sized> {
+    constructor: &'a C,
+    decider: &'a D,
+    language: &'a L,
+    params: PipelineParams,
+    runner: BatchRunner,
+}
+
+impl<'a, C, D, L> DerandPipeline<'a, C, D, L>
+where
+    C: RandomizedLocalAlgorithm + ?Sized,
+    D: RandomizedDecider + ?Sized,
+    L: DistributedLanguage + ?Sized,
+{
+    /// Assembles the pipeline around one language / constructor / decider
+    /// triple.
+    pub fn new(constructor: &'a C, decider: &'a D, language: &'a L, params: PipelineParams) -> Self {
+        DerandPipeline {
+            constructor,
+            decider,
+            language,
+            params,
+            runner: BatchRunner::new(),
+        }
+    }
+
+    /// Overrides the batch runner (e.g. [`BatchRunner::sequential`] for
+    /// scheduling-pinned comparisons; results are identical either way).
+    pub fn with_runner(mut self, runner: BatchRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// The pipeline's quantitative knobs.
+    pub fn params(&self) -> PipelineParams {
+        self.params
+    }
+
+    // ---- Stage 1: Ramsey lift (Claim 1 / Appendix A) ------------------
+
+    /// The free-function [`ramsey_stage`], as a pipeline method for staged
+    /// call sites. The stage reads none of the constructor/decider/language
+    /// state — Claim 1 is about the wrapped deterministic algorithm alone —
+    /// so callers that only need the lift (e.g. E8) can use the free
+    /// function directly.
+    pub fn ramsey_stage<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        probes: &[Instance<'_>],
+        universe: &[u64],
+        samples_per_round: usize,
+        seed: u64,
+    ) -> RamseyStage {
+        ramsey_stage(algo, probes, universe, samples_per_round, seed)
+    }
+
+    /// [`lift_agrees_with`] using this pipeline's runner.
+    pub fn lift_agrees<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        stage: &RamseyStage,
+        instance: &Instance<'_>,
+    ) -> bool {
+        lift_agrees_with(&self.runner, algo, stage, instance)
+    }
+
+    // ---- Stage 2: hard instances (Claim 2) ----------------------------
+
+    /// Engine-backed version of `HardInstanceSearch::fails_on`: the
+    /// deterministic algorithm's output on the planned instance is rejected
+    /// by the language.
+    pub fn fails_on<A: LocalAlgorithm + ?Sized>(&self, algo: &A, instance: &HardInstance) -> bool {
+        let inst = instance.as_instance();
+        let plan = ExecutionPlan::for_instance(&inst, algo.radius());
+        let output = self.runner.run(algo, &plan);
+        let io = IoConfig::from_instance(&inst, &output);
+        !self.language.contains(&io)
+    }
+
+    /// Builds the Claim-2 pool: for each algorithm, the first candidate
+    /// (after enforcing the running identity floor, by shifting) of
+    /// diameter at least `min_diameter` on which it fails. Identity ranges
+    /// come out pairwise disjoint, exactly like
+    /// `HardInstanceSearch::hard_instance_family`.
+    pub fn hard_instance_stage<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algorithms: &[&A],
+        candidates: &[HardInstance],
+        min_diameter: u32,
+        min_id: u64,
+    ) -> HardInstanceStage {
+        let mut pool = Vec::new();
+        let mut missing = 0usize;
+        let mut floor = min_id.max(1);
+        for algo in algorithms {
+            let mut found = None;
+            for candidate in candidates {
+                let candidate = if candidate.min_id() >= floor {
+                    candidate.clone()
+                } else {
+                    candidate.shifted_ids(floor - candidate.min_id())
+                };
+                if candidate.diameter_lower_bound() < min_diameter {
+                    continue;
+                }
+                if self.fails_on(*algo, &candidate) {
+                    found = Some(candidate);
+                    break;
+                }
+            }
+            match found {
+                Some(instance) => {
+                    floor = instance.max_id() + 1;
+                    pool.push(instance);
+                }
+                None => missing += 1,
+            }
+        }
+        HardInstanceStage { pool, missing }
+    }
+
+    /// The free-function [`failure_probability_with`] using this pipeline's
+    /// constructor, language, and runner.
+    pub fn failure_probability(&self, instance: &HardInstance, trials: u64, seed: u64) -> Estimate {
+        failure_probability_with(&self.runner, self.constructor, self.language, instance, trials, seed)
+    }
+
+    // ---- Stage 3: boosted disjoint union (Claim 3) --------------------
+
+    /// Plans the disjoint union of `nu` pool instances (cycling through the
+    /// pool, identity ranges made disjoint — the Claim-3 composite) once.
+    pub fn union_stage(&self, pool: &[HardInstance], nu: usize) -> UnionStage {
+        let parts: Vec<_> = pool.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect();
+        let plan = UnionPlan::for_parts(
+            &parts,
+            nu,
+            self.constructor.radius(),
+            self.decider.radius(),
+        );
+        UnionStage { nu, plan }
+    }
+
+    /// `Pr[D accepts C(G)]` on the union, over both coin sources —
+    /// bit-identical to `boosting::disjoint_union_acceptance`.
+    pub fn union_acceptance(&self, stage: &UnionStage, trials: u64, seed: u64) -> Estimate {
+        self.runner
+            .union_acceptance(&stage.plan, self.constructor, self.decider, trials, seed)
+    }
+
+    // ---- Stage 4: connected gluing (Claims 4–5) -----------------------
+
+    /// Glues the given parts at the given anchors (one per part) and plans
+    /// the result, precomputing the far-from-anchors participation set.
+    pub fn glued_stage(&self, parts: Vec<HardInstance>, anchors: Vec<NodeId>) -> GluedStage {
+        let experiment = GluingExperiment::build(parts, anchors, self.params.t, self.params.t_prime);
+        let glued_anchors: Vec<NodeId> = (0..experiment.parts.len())
+            .map(|i| experiment.glued_anchor(i))
+            .collect();
+        let nu = experiment.parts.len();
+        let instance = experiment.as_hard_instance();
+        let plan = GluedPlan::new(
+            &instance.as_instance(),
+            glued_anchors,
+            experiment.exclusion_radius,
+            self.constructor.radius(),
+            self.decider.radius(),
+        );
+        GluedStage {
+            nu,
+            mu: self.params.mu(),
+            plan,
+            instance,
+        }
+    }
+
+    /// [`DerandPipeline::glued_stage`] with automatic part and anchor
+    /// selection: cycles `nu` parts from the pool and anchors each at its
+    /// first spread-set candidate (distance `≥ 2(t + t')` apart, as
+    /// Claim 4 requires).
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or `nu < 2`.
+    pub fn glued_stage_auto(&self, pool: &[HardInstance], nu: usize) -> GluedStage {
+        assert!(!pool.is_empty(), "gluing needs a non-empty hard-instance pool");
+        assert!(nu >= 2, "gluing needs at least two parts");
+        let parts: Vec<HardInstance> = (0..nu).map(|i| pool[i % pool.len()].clone()).collect();
+        let anchors: Vec<NodeId> = parts
+            .iter()
+            .map(|part| {
+                let candidates =
+                    anchor_candidates(part, self.params.t, self.params.t_prime, self.params.p);
+                assert!(
+                    !candidates.is_empty(),
+                    "no anchor candidate in a {}-node part",
+                    part.node_count()
+                );
+                candidates[0]
+            })
+            .collect();
+        self.glued_stage(parts, anchors)
+    }
+
+    /// All-nodes acceptance `Pr[D accepts C(G)]` on the glued instance —
+    /// bit-identical to `GluingExperiment::acceptance`.
+    pub fn glued_acceptance(&self, stage: &GluedStage, trials: u64, seed: u64) -> Estimate {
+        self.runner
+            .glued_acceptance(&stage.plan, self.constructor, self.decider, trials, seed)
+    }
+
+    /// The Claims-4/5 event `Pr[D accepts C(G) far from every anchor]` —
+    /// bit-identical to `GluingExperiment::acceptance_far_from_all_anchors`.
+    pub fn glued_far_acceptance(&self, stage: &GluedStage, trials: u64, seed: u64) -> Estimate {
+        self.runner
+            .glued_far_acceptance(&stage.plan, self.constructor, self.decider, trials, seed)
+    }
+}
+
+/// Stage 1 standalone (Claim 1 / Appendix A): refines `universe` until
+/// `algo` is consistent on every ball type of the probe instances (at
+/// `algo`'s radius). The refinement itself is
+/// `rlnc_core::derand::ramsey::consistent_id_set` verbatim, so seeded
+/// streams match the legacy E8 driver exactly.
+pub fn ramsey_stage<A: LocalAlgorithm + ?Sized>(
+    algo: &A,
+    probes: &[Instance<'_>],
+    universe: &[u64],
+    samples_per_round: usize,
+    seed: u64,
+) -> RamseyStage {
+    let templates = collect_templates(probes, algo.radius());
+    let id_set = consistent_id_set(algo, &templates, universe, samples_per_round, seed);
+    RamseyStage {
+        id_set,
+        universe_size: universe.len(),
+        templates: templates.len(),
+    }
+}
+
+/// Engine-backed agreement of two same-radius deterministic algorithms on
+/// one instance: one plan (one arena pass) serves both evaluations.
+pub fn deterministic_agreement<A, B>(
+    runner: &BatchRunner,
+    a: &A,
+    b: &B,
+    instance: &Instance<'_>,
+) -> bool
+where
+    A: LocalAlgorithm + ?Sized,
+    B: LocalAlgorithm + ?Sized,
+{
+    let plan = ExecutionPlan::for_instance(instance, a.radius());
+    runner.run(a, &plan) == runner.run(b, &plan)
+}
+
+/// Engine-backed agreement check: does the lift `A'` built from the
+/// stage's identity set compute the same outputs as `A` on `instance`?
+/// Callers that already hold the lift should use
+/// [`deterministic_agreement`] directly and avoid rebuilding it.
+pub fn lift_agrees_with<A: LocalAlgorithm + ?Sized>(
+    runner: &BatchRunner,
+    algo: &A,
+    stage: &RamseyStage,
+    instance: &Instance<'_>,
+) -> bool {
+    let lift = OrderInvariantLift::new(algo, stage.id_set.clone());
+    deterministic_agreement(runner, algo, &lift, instance)
+}
+
+/// Stage-2 standalone (Claim 2): engine-backed failure probability β of a
+/// randomized constructor on a fixed instance, `Pr[C(H, x, id) ∉ L]` —
+/// the decider plays no part in this stage. Bit-identical to
+/// `HardInstanceSearch::failure_probability` (cached views, same per-trial
+/// seed derivation, complemented counts).
+pub fn failure_probability_with<C, L>(
+    runner: &BatchRunner,
+    constructor: &C,
+    language: &L,
+    instance: &HardInstance,
+    trials: u64,
+    seed: u64,
+) -> Estimate
+where
+    C: RandomizedLocalAlgorithm + ?Sized,
+    L: DistributedLanguage + ?Sized,
+{
+    let inst = instance.as_instance();
+    let plan = ExecutionPlan::for_instance(&inst, constructor.radius());
+    runner.estimate(constructor, &plan, trials, seed, |out| {
+        let io = IoConfig::from_instance(&inst, out);
+        !language.contains(&io)
+    })
+}
+
+/// Convenience constructor for the common LCL shape: the pipeline of a
+/// language against its one-sided decider ([`OneSidedLclDecider`]).
+pub fn lcl_pipeline<'a, C, L>(
+    constructor: &'a C,
+    decider: &'a OneSidedLclDecider<L>,
+    language: &'a L,
+    r: f64,
+    t: u32,
+) -> DerandPipeline<'a, C, OneSidedLclDecider<L>, L>
+where
+    C: RandomizedLocalAlgorithm + ?Sized,
+    L: LclLanguage,
+{
+    let params = PipelineParams {
+        r,
+        p: decider.rejection_probability(),
+        t,
+        t_prime: language.radius(),
+    };
+    DerandPipeline::new(constructor, decider, language, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnc_core::algorithm::FnAlgorithm;
+    use rlnc_core::derand::boosting::disjoint_union_acceptance;
+    use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstanceSearch};
+    use rlnc_core::labels::Label;
+    use rlnc_core::view::View;
+    use rlnc_graph::traversal::is_connected;
+    use rlnc_langs::coloring::ProperColoring;
+    use rlnc_langs::random_coloring::RandomColoring;
+
+    fn coloring_pipeline() -> (RandomColoring, OneSidedLclDecider<ProperColoring>, ProperColoring) {
+        (
+            RandomColoring::new(3),
+            OneSidedLclDecider::new(ProperColoring::new(3), 0.75),
+            ProperColoring::new(3),
+        )
+    }
+
+    #[test]
+    fn params_arithmetic() {
+        let params = PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 };
+        assert_eq!(params.exclusion_radius(), 1);
+        assert_eq!(params.mu(), 2);
+    }
+
+    #[test]
+    fn hard_instance_stage_matches_legacy_search() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        let c1 = FnAlgorithm::new(1, "always-1", |_: &View| Label::from_u64(1));
+        let c2 = FnAlgorithm::new(1, "always-2", |_: &View| Label::from_u64(2));
+        let algos: [&dyn LocalAlgorithm; 2] = [&c1, &c2];
+        let candidates = consecutive_cycle_candidates([8, 10]);
+        let stage = pipeline.hard_instance_stage(&algos, &candidates, 0, 1);
+        assert_eq!(stage.missing, 0);
+        assert_eq!(stage.pool.len(), 2);
+        // Same pool as the legacy search (disjoint id ranges included).
+        let legacy = HardInstanceSearch::new(&language).with_min_id(1);
+        let dyn_algos: Vec<&dyn LocalAlgorithm> = vec![&c1, &c2];
+        let (reference, missing) = legacy.hard_instance_family(dyn_algos, &candidates);
+        assert_eq!(missing, 0);
+        for (ours, theirs) in stage.pool.iter().zip(&reference) {
+            assert_eq!(ours.graph, theirs.graph);
+            assert_eq!(ours.ids.as_slice(), theirs.ids.as_slice());
+        }
+    }
+
+    #[test]
+    fn failure_probability_matches_legacy_search() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        let instance = consecutive_cycle_candidates([6]).remove(0);
+        let engine = pipeline.failure_probability(&instance, 500, 3);
+        let legacy = HardInstanceSearch::new(&language)
+            .failure_probability(&constructor, &instance, 500, 3);
+        assert_eq!(engine.successes, legacy.successes);
+        assert_eq!(engine.p_hat, legacy.p_hat);
+    }
+
+    #[test]
+    fn union_acceptance_matches_legacy_boosting() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        let pool = consecutive_cycle_candidates([6, 8]);
+        for nu in [1usize, 3] {
+            let stage = pipeline.union_stage(&pool, nu);
+            assert_eq!(stage.plan.components(), nu);
+            let engine = pipeline.union_acceptance(&stage, 400, 0);
+            let legacy = disjoint_union_acceptance(&constructor, &decider, &pool, nu, 400, 0);
+            assert_eq!(engine.successes, legacy.successes);
+        }
+    }
+
+    #[test]
+    fn glued_stage_matches_legacy_gluing_experiment() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        let pool = consecutive_cycle_candidates([12, 14]);
+        let stage = pipeline.glued_stage_auto(&pool, 3);
+        assert_eq!(stage.nu, 3);
+        assert!(is_connected(&stage.instance.graph));
+        assert!(stage.instance.graph.max_degree() <= 3);
+
+        // Reference: the legacy experiment with the same parts and anchors.
+        let parts: Vec<HardInstance> = (0..3).map(|i| pool[i % 2].clone()).collect();
+        let anchors: Vec<NodeId> = parts
+            .iter()
+            .map(|p| anchor_candidates(p, 0, 1, 0.75)[0])
+            .collect();
+        let experiment = GluingExperiment::build(parts, anchors, 0, 1);
+        let far_engine = pipeline.glued_far_acceptance(&stage, 300, 0);
+        let far_legacy =
+            experiment.acceptance_far_from_all_anchors(&constructor, &decider, 300, 0);
+        assert_eq!(far_engine.successes, far_legacy.successes);
+        let full_engine = pipeline.glued_acceptance(&stage, 300, 7);
+        let full_legacy = experiment.acceptance(&constructor, &decider, 300, 7);
+        assert_eq!(full_engine.successes, full_legacy.successes);
+    }
+
+    #[test]
+    fn ramsey_stage_refines_and_lift_agrees() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        let probe = consecutive_cycle_candidates([8]).remove(0);
+        let algo = FnAlgorithm::new(0, "id-parity", |v: &View| Label::from_u64(v.center_id() % 2));
+        let universe: Vec<u64> = (1..=60).collect();
+        let stage = pipeline.ramsey_stage(&algo, &[probe.as_instance()], &universe, 300, 7);
+        assert_eq!(stage.templates, 1);
+        assert!(stage.survival_rate() > 0.0 && stage.survival_rate() <= 1.0);
+        let parities: std::collections::HashSet<u64> =
+            stage.id_set.iter().map(|x| x % 2).collect();
+        assert_eq!(parities.len(), 1, "refined set must land in one parity class");
+        // Agreement on an instance whose ids come from the refined set.
+        let in_set = HardInstance::new(
+            probe.graph.clone(),
+            probe.input.clone(),
+            rlnc_graph::IdAssignment::new(stage.id_set.iter().take(8).copied().collect()),
+        );
+        assert!(pipeline.lift_agrees(&algo, &stage, &in_set.as_instance()));
+    }
+}

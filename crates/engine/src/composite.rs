@@ -1,0 +1,486 @@
+//! Composite plans: construct-then-decide kernels over disjoint unions and
+//! connected gluings.
+//!
+//! The derandomization argument of Theorem 1 spends almost all of its
+//! Monte-Carlo budget on one shape: *run a randomized constructor on a
+//! composite instance (a disjoint union of hard instances, or their
+//! connected gluing), then run a randomized decider on the result*. The
+//! legacy estimators in `rlnc_core::derand` re-extract every node's ball on
+//! every trial and, for the gluing's "far from every anchor" event, re-run
+//! one BFS per anchor per trial. The plan kinds here amortize all of that:
+//!
+//! * [`ConstructDecidePlan`] caches two view sets over one fixed instance —
+//!   construction views at the constructor's radius and decision views at
+//!   the decider's radius — via one [`BallArena`](rlnc_graph::arena::BallArena)
+//!   pass each over the combined CSR. A trial only evaluates output
+//!   functions and refreshes output labels.
+//! * [`UnionPlan`] assembles the disjoint union of `ν` component instances
+//!   (identity ranges made disjoint exactly as in Claim 3) and plans it
+//!   once, remembering the per-component offsets.
+//! * [`GluedPlan`] plans a glued connected instance and precomputes the
+//!   participation set of the Claims-4/5 event — the nodes at distance
+//!   greater than `t + t'` from at least one anchor — so the far-from
+//!   verdict needs no per-trial BFS.
+//!
+//! All kernels follow the `(master seed, trial)` derivation of
+//! [`MonteCarlo`](rlnc_par::MonteCarlo) and split each trial seed into
+//! `child(0)` (constructor coins) and `child(1)` (decider coins), exactly
+//! like the legacy estimators — the equivalence suite pins the streams
+//! down bit-for-bit.
+
+use crate::plan::{DecisionScratch, ExecutionPlan};
+use crate::runner::BatchRunner;
+use rlnc_core::algorithm::{Coins, RandomizedLocalAlgorithm};
+use rlnc_core::config::Instance;
+use rlnc_core::decision::RandomizedDecider;
+use rlnc_core::labels::Labeling;
+use rlnc_graph::ops::{concatenate_ids, disjoint_union};
+use rlnc_graph::traversal::nodes_far_from_any;
+use rlnc_graph::{Graph, IdAssignment, NodeId};
+use rlnc_par::rng::SeedSequence;
+use rlnc_par::stats::Estimate;
+
+/// Cached construction and decision views of one fixed composite instance.
+///
+/// The construction half drives a [`RandomizedLocalAlgorithm`]; the
+/// decision half holds construction views at the decider's radius whose
+/// output labels a per-block [`DecisionScratch`] refreshes from each
+/// trial's constructed labeling.
+#[derive(Debug, Clone)]
+pub struct ConstructDecidePlan {
+    construction: ExecutionPlan,
+    decision: ExecutionPlan,
+}
+
+impl ConstructDecidePlan {
+    /// Plans `instance` at the two radii (one arena pass per distinct
+    /// radius — equal radii share a single pass and view set).
+    pub fn new(instance: &Instance<'_>, construction_radius: u32, decision_radius: u32) -> Self {
+        let construction = ExecutionPlan::for_instance(instance, construction_radius);
+        let decision = if decision_radius == construction_radius {
+            construction.clone()
+        } else {
+            ExecutionPlan::for_instance(instance, decision_radius)
+        };
+        ConstructDecidePlan {
+            construction,
+            decision,
+        }
+    }
+
+    /// The cached construction views.
+    pub fn construction(&self) -> &ExecutionPlan {
+        &self.construction
+    }
+
+    /// The cached decision views (outputs refreshed per trial).
+    pub fn decision(&self) -> &ExecutionPlan {
+        &self.decision
+    }
+
+    /// Number of nodes in the planned instance.
+    pub fn node_count(&self) -> usize {
+        self.construction.node_count()
+    }
+
+    /// Total view membership one construct-then-decide trial touches.
+    pub fn work_per_trial(&self) -> usize {
+        self.construction.work_per_execution() + self.decision.work_per_execution()
+    }
+
+    /// One trial against caller-provided reusable buffers: constructs with
+    /// coins `trial_seed.child(0)` into `out`, then decides `out` with
+    /// coins `trial_seed.child(1)`. When `nodes` is `Some`, only the listed
+    /// nodes are quantified over (the far-from-anchors event); `None` means
+    /// every node must accept.
+    pub fn accept_once<C, D>(
+        &self,
+        scratch: &mut DecisionScratch,
+        out: &mut Labeling,
+        constructor: &C,
+        decider: &D,
+        nodes: Option<&[usize]>,
+        trial_seed: SeedSequence,
+    ) -> bool
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        assert_eq!(
+            scratch.plan_id(),
+            self.decision.id(),
+            "decision scratch does not belong to this plan"
+        );
+        assert_eq!(
+            constructor.radius(),
+            self.construction.radius(),
+            "constructor radius {} does not match plan radius {}",
+            constructor.radius(),
+            self.construction.radius()
+        );
+        let coins = Coins::new(trial_seed.child(0));
+        for (i, view) in self.construction.views().iter().enumerate() {
+            out.set(NodeId::from_index(i), constructor.output(view, &coins));
+        }
+        let decision_seed = trial_seed.child(1);
+        match nodes {
+            Some(nodes) => scratch.decide_randomized_at(decider, out, nodes, decision_seed),
+            None => scratch.decide_randomized(decider, out, decision_seed),
+        }
+    }
+
+    /// A fresh decision scratch for this plan (clone once per trial block).
+    pub fn decision_scratch(&self) -> DecisionScratch {
+        self.decision.decision_scratch()
+    }
+}
+
+/// A [`ConstructDecidePlan`] over the disjoint union of `ν` component
+/// instances — the Claim-3 composite, planned once.
+#[derive(Debug, Clone)]
+pub struct UnionPlan {
+    plan: ConstructDecidePlan,
+    offsets: Vec<usize>,
+}
+
+impl UnionPlan {
+    /// Builds and plans the disjoint union of `nu` components, cycling
+    /// through `parts` (graph, input, identity triples) when `nu` exceeds
+    /// their number and shifting identity ranges pairwise disjoint —
+    /// mirroring `rlnc_core::derand::boosting::build_disjoint_union`
+    /// exactly, so the planned instance is the one the legacy estimator
+    /// sees.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or `nu` is zero.
+    pub fn for_parts(
+        parts: &[(&Graph, &Labeling, &IdAssignment)],
+        nu: usize,
+        construction_radius: u32,
+        decision_radius: u32,
+    ) -> UnionPlan {
+        assert!(!parts.is_empty(), "need at least one component instance");
+        assert!(nu >= 1, "need at least one copy");
+        let chosen: Vec<&(&Graph, &Labeling, &IdAssignment)> =
+            (0..nu).map(|i| &parts[i % parts.len()]).collect();
+        let graphs: Vec<&Graph> = chosen.iter().map(|(g, _, _)| *g).collect();
+        let union = disjoint_union(&graphs);
+        let ids = concatenate_ids(&chosen.iter().map(|(_, _, ids)| *ids).collect::<Vec<_>>());
+        let mut input = Labeling::empty(0);
+        for (_, part_input, _) in &chosen {
+            input = input.concatenate(part_input);
+        }
+        let instance = Instance::new(&union.graph, &input, &ids);
+        UnionPlan {
+            plan: ConstructDecidePlan::new(&instance, construction_radius, decision_radius),
+            offsets: union.offsets,
+        }
+    }
+
+    /// The underlying construct-then-decide plan.
+    pub fn plan(&self) -> &ConstructDecidePlan {
+        &self.plan
+    }
+
+    /// Number of components in the union.
+    pub fn components(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `offsets()[i]` is the union-graph index of node 0 of component `i`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Total node count of the union.
+    pub fn node_count(&self) -> usize {
+        self.plan.node_count()
+    }
+}
+
+/// A [`ConstructDecidePlan`] over a glued connected instance, with the
+/// Claims-4/5 participation set precomputed.
+#[derive(Debug, Clone)]
+pub struct GluedPlan {
+    plan: ConstructDecidePlan,
+    anchors: Vec<NodeId>,
+    exclusion_radius: u32,
+    participants: Vec<usize>,
+}
+
+impl GluedPlan {
+    /// Plans the glued instance and precomputes the nodes participating in
+    /// the "accepts far from every anchor" event (distance greater than
+    /// `exclusion_radius` from at least one anchor).
+    ///
+    /// # Panics
+    /// Panics if no anchors are supplied.
+    pub fn new(
+        instance: &Instance<'_>,
+        anchors: Vec<NodeId>,
+        exclusion_radius: u32,
+        construction_radius: u32,
+        decision_radius: u32,
+    ) -> GluedPlan {
+        assert!(!anchors.is_empty(), "a glued plan needs at least one anchor");
+        let participants = nodes_far_from_any(instance.graph, &anchors, exclusion_radius)
+            .into_iter()
+            .map(|v| v.index())
+            .collect();
+        GluedPlan {
+            plan: ConstructDecidePlan::new(instance, construction_radius, decision_radius),
+            anchors,
+            exclusion_radius,
+            participants,
+        }
+    }
+
+    /// The underlying construct-then-decide plan.
+    pub fn plan(&self) -> &ConstructDecidePlan {
+        &self.plan
+    }
+
+    /// The glued-graph anchor nodes.
+    pub fn anchors(&self) -> &[NodeId] {
+        &self.anchors
+    }
+
+    /// The exclusion radius `t + t'` of the far-from event.
+    pub fn exclusion_radius(&self) -> u32 {
+        self.exclusion_radius
+    }
+
+    /// The nodes quantified over by the far-from-every-anchor event, in
+    /// ascending order.
+    pub fn participants(&self) -> &[usize] {
+        &self.participants
+    }
+
+    /// Total node count of the glued instance.
+    pub fn node_count(&self) -> usize {
+        self.plan.node_count()
+    }
+}
+
+impl BatchRunner {
+    /// Estimates `Pr[D accepts C(G)]` over `trials` construct-then-decide
+    /// executions of a composite plan, with the `(master seed, trial)` seed
+    /// derivation of [`MonteCarlo`](rlnc_par::MonteCarlo) and the
+    /// `child(0)`/`child(1)` constructor/decider split of the legacy
+    /// `acceptance_of_constructed` — bit-identical success streams.
+    pub fn construct_decide_acceptance<C, D>(
+        &self,
+        plan: &ConstructDecidePlan,
+        constructor: &C,
+        decider: &D,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        self.composite_acceptance(plan, constructor, decider, None, trials, master_seed)
+    }
+
+    /// [`BatchRunner::construct_decide_acceptance`] over a union plan.
+    pub fn union_acceptance<C, D>(
+        &self,
+        union: &UnionPlan,
+        constructor: &C,
+        decider: &D,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        self.construct_decide_acceptance(union.plan(), constructor, decider, trials, master_seed)
+    }
+
+    /// All-nodes acceptance `Pr[D accepts C(G)]` on a glued plan.
+    pub fn glued_acceptance<C, D>(
+        &self,
+        glued: &GluedPlan,
+        constructor: &C,
+        decider: &D,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        self.construct_decide_acceptance(glued.plan(), constructor, decider, trials, master_seed)
+    }
+
+    /// The Claims-4/5 event: `Pr[D accepts C(G) far from every anchor]` —
+    /// every precomputed participant accepts. Bit-identical to the legacy
+    /// `GluingExperiment::acceptance_far_from_all_anchors`, which re-ran
+    /// one BFS per anchor per trial to find the same participants.
+    pub fn glued_far_acceptance<C, D>(
+        &self,
+        glued: &GluedPlan,
+        constructor: &C,
+        decider: &D,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        self.composite_acceptance(
+            glued.plan(),
+            constructor,
+            decider,
+            Some(glued.participants()),
+            trials,
+            master_seed,
+        )
+    }
+
+    fn composite_acceptance<C, D>(
+        &self,
+        plan: &ConstructDecidePlan,
+        constructor: &C,
+        decider: &D,
+        nodes: Option<&[usize]>,
+        trials: u64,
+        master_seed: u64,
+    ) -> Estimate
+    where
+        C: RandomizedLocalAlgorithm + ?Sized,
+        D: RandomizedDecider + ?Sized,
+    {
+        assert_eq!(
+            constructor.radius(),
+            plan.construction().radius(),
+            "constructor radius {} does not match plan radius {}",
+            constructor.radius(),
+            plan.construction().radius()
+        );
+        let root = SeedSequence::new(master_seed);
+        let n = plan.node_count();
+        let run_block = |range: &std::ops::Range<usize>| -> u64 {
+            let mut scratch = plan.decision_scratch();
+            let mut out = Labeling::empty(n);
+            range
+                .clone()
+                .filter(|&trial| {
+                    plan.accept_once(
+                        &mut scratch,
+                        &mut out,
+                        constructor,
+                        decider,
+                        nodes,
+                        root.child(trial as u64),
+                    )
+                })
+                .count() as u64
+        };
+        let work = (plan.work_per_trial() as u64).saturating_mul(trials);
+        let counts = self.run_blocked(trials, work, run_block);
+        Estimate::from_counts(counts.into_iter().sum(), trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rlnc_core::algorithm::FnRandomizedAlgorithm;
+    use rlnc_core::decision::FnRandomizedDecider;
+    use rlnc_core::derand::boosting::{acceptance_of_constructed, build_disjoint_union};
+    use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
+    use rlnc_core::labels::Label;
+    use rlnc_core::view::View;
+
+    fn parts_of(
+        hard: &[rlnc_core::derand::HardInstance],
+    ) -> Vec<(&Graph, &Labeling, &IdAssignment)> {
+        hard.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect()
+    }
+
+    fn bernoulli_constructor(q: f64) -> FnRandomizedAlgorithm<impl Fn(&View, &Coins) -> Label + Sync> {
+        FnRandomizedAlgorithm::new(0, "bernoulli-bit", move |v: &View, c: &Coins| {
+            Label::from_bool(c.for_center(v).random_bool(q))
+        })
+    }
+
+    fn zero_rejecting_decider(p: f64) -> FnRandomizedDecider<impl Fn(&View, &Coins) -> bool + Sync> {
+        FnRandomizedDecider::new(0, "reject-zeros", move |v: &View, c: &Coins| {
+            v.output(v.center_local()).as_bool() || !c.for_center(v).random_bool(p)
+        })
+    }
+
+    #[test]
+    fn union_plan_builds_the_claim3_union() {
+        let hard = consecutive_cycle_candidates([5, 7]);
+        let union = UnionPlan::for_parts(&parts_of(&hard), 3, 0, 0);
+        let reference = build_disjoint_union(&hard, 3);
+        assert_eq!(union.node_count(), reference.node_count());
+        assert_eq!(union.components(), 3);
+        assert_eq!(union.offsets(), &[0, 5, 12]);
+    }
+
+    #[test]
+    fn construct_decide_matches_legacy_acceptance_of_constructed() {
+        let hard = consecutive_cycle_candidates([6]);
+        let constructor = bernoulli_constructor(0.8);
+        let decider = zero_rejecting_decider(0.7);
+        let legacy = acceptance_of_constructed(&constructor, &decider, &hard[0], 300, 0);
+        let plan = ConstructDecidePlan::new(&hard[0].as_instance(), 0, 0);
+        for runner in [BatchRunner::new(), BatchRunner::sequential()] {
+            let engine =
+                runner.construct_decide_acceptance(&plan, &constructor, &decider, 300, 0);
+            assert_eq!(engine.successes, legacy.successes);
+            assert_eq!(engine.p_hat, legacy.p_hat);
+        }
+    }
+
+    #[test]
+    fn glued_plan_precomputes_participants() {
+        let hard = consecutive_cycle_candidates([10, 10]);
+        let parts: Vec<rlnc_core::derand::HardInstance> = hard.clone();
+        let exp = rlnc_core::derand::GluingExperiment::build(
+            parts,
+            vec![NodeId(0), NodeId(0)],
+            0,
+            1,
+        );
+        let anchors: Vec<NodeId> = (0..2).map(|i| exp.glued_anchor(i)).collect();
+        let glued_hard = exp.as_hard_instance();
+        let plan = GluedPlan::new(&glued_hard.as_instance(), anchors.clone(), 1, 0, 0);
+        assert_eq!(plan.exclusion_radius(), 1);
+        assert_eq!(plan.anchors(), &anchors[..]);
+        // Every node far from at least one anchor participates.
+        for v in exp.graph().nodes() {
+            let expected = anchors.iter().any(|&a| {
+                rlnc_graph::traversal::distance(exp.graph(), a, v).unwrap() > 1
+            });
+            assert_eq!(plan.participants().contains(&v.index()), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to this plan")]
+    fn foreign_scratch_is_rejected() {
+        let hard = consecutive_cycle_candidates([6, 6]);
+        let plan_a = ConstructDecidePlan::new(&hard[0].as_instance(), 0, 0);
+        let plan_b = ConstructDecidePlan::new(&hard[1].as_instance(), 0, 0);
+        let constructor = bernoulli_constructor(0.5);
+        let decider = zero_rejecting_decider(0.5);
+        let mut scratch = plan_b.decision_scratch();
+        let mut out = Labeling::empty(plan_a.node_count());
+        let _ = plan_a.accept_once(
+            &mut scratch,
+            &mut out,
+            &constructor,
+            &decider,
+            None,
+            SeedSequence::new(0),
+        );
+    }
+}

@@ -22,6 +22,11 @@
 //! * [`DecisionScratch`] covers the remaining shape — deciders whose
 //!   *outputs* change per trial (e.g. "construct, then decide") — by
 //!   refreshing only the output labels of cloned cached views.
+//! * [`ConstructDecidePlan`], [`UnionPlan`], and [`GluedPlan`]
+//!   (mod [`composite`]) package the derandomization pipeline's hot shape —
+//!   construct on a disjoint union or gluing of hard instances, then decide
+//!   — into plans built once per composite instance, including the
+//!   precomputed "far from every anchor" participation set of Claims 4–5.
 //!
 //! ## Determinism
 //!
@@ -67,8 +72,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composite;
 pub mod plan;
 pub mod runner;
 
+pub use composite::{ConstructDecidePlan, GluedPlan, UnionPlan};
 pub use plan::{DecisionScratch, ExecutionPlan};
 pub use runner::BatchRunner;

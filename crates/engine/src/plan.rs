@@ -210,6 +210,35 @@ impl DecisionScratch {
             decider.accepts(view, &coins)
         })
     }
+
+    /// Like [`DecisionScratch::decide_randomized`], but only quantifies over
+    /// the listed nodes (host-graph indices): accepted iff every listed node
+    /// accepts. This is the kernel behind the "accepts far from every
+    /// anchor" event of the gluing construction — the participation set is
+    /// computed once per plan instead of once per trial. Coins still derive
+    /// from `(execution seed, node)`, so the verdict at a node is identical
+    /// to the all-nodes variant's.
+    pub fn decide_randomized_at<D: RandomizedDecider + ?Sized>(
+        &mut self,
+        decider: &D,
+        output: &Labeling,
+        nodes: &[usize],
+        execution_seed: SeedSequence,
+    ) -> bool {
+        assert_eq!(
+            decider.radius(),
+            self.radius,
+            "decider radius {} does not match plan radius {}",
+            decider.radius(),
+            self.radius
+        );
+        let coins = Coins::new(execution_seed);
+        nodes.iter().all(|&i| {
+            let view = &mut self.views[i];
+            view.refresh_outputs(output);
+            decider.accepts(view, &coins)
+        })
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,37 @@ impl BatchRunner {
         }
     }
 
+    /// The work-based form of the heuristic, for plans (e.g. composite
+    /// construct-then-decide plans) whose per-trial work is not a single
+    /// `ExecutionPlan`'s.
+    fn parallel_for_work(&self, total_work: u64, trials: u64) -> bool {
+        match self.mode {
+            Mode::Sequential => false,
+            Mode::Auto => {
+                trials > 1
+                    && rayon::current_thread_index().is_none()
+                    && total_work >= PARALLEL_WORK_THRESHOLD
+            }
+        }
+    }
+
+    /// Chunks `trials` into blocks and maps `f` over the trial ranges,
+    /// fanning out iff `total_work` clears the heuristic. Results arrive in
+    /// submission (ascending-range) order either way.
+    pub(crate) fn run_blocked<T, F>(&self, trials: u64, total_work: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Range<usize>) -> T + Sync,
+    {
+        let chunks = (trials as usize).div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(trials as usize, chunks);
+        if self.parallel_for_work(total_work, trials) {
+            sweep(ranges, f)
+        } else {
+            sweep_sequential(ranges, f)
+        }
+    }
+
     /// The single-execution variant of the heuristic: fan out over nodes
     /// iff the one execution alone carries enough work.
     fn parallel_nodes(&self, plan: &ExecutionPlan) -> bool {

@@ -6,8 +6,11 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rlnc_core::derand::boosting::disjoint_union_acceptance;
+use rlnc_core::derand::gluing::{anchor_candidates, GluingExperiment};
+use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
 use rlnc_core::prelude::*;
-use rlnc_engine::{BatchRunner, ExecutionPlan};
+use rlnc_engine::{BatchRunner, ExecutionPlan, GluedPlan, UnionPlan};
 use rlnc_graph::generators::Family;
 use rlnc_graph::{IdAssignment, NodeId};
 use rlnc_par::rng::SeedSequence;
@@ -200,4 +203,113 @@ proptest! {
         });
         prop_assert_eq!(engine.successes, legacy.successes);
     }
+
+    #[test]
+    fn union_plans_match_legacy_disjoint_union_acceptance(
+        part_a in 4usize..10,
+        part_b in 4usize..10,
+        nu in 1usize..5,
+        seed in 0u64..100_000,
+    ) {
+        // The Claim-3 kernel: the engine's UnionPlan must reproduce the
+        // legacy per-trial estimator bit-for-bit — same union construction
+        // (cycled parts, disjoint identity ranges), same (master, trial)
+        // seed tree, same child(0)/child(1) constructor/decider split.
+        let hard = consecutive_cycle_candidates([part_a, part_b]);
+        let constructor = coin_mixing_algo(0);
+        let decider = parity_decider();
+        let legacy = disjoint_union_acceptance(&constructor, &decider, &hard, nu, 60, seed);
+        let parts: Vec<_> = hard.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect();
+        let union = UnionPlan::for_parts(&parts, nu, 0, 1);
+        prop_assert_eq!(union.components(), nu);
+        for runner in [BatchRunner::new(), BatchRunner::sequential(), BatchRunner::new().with_block(7)] {
+            let engine = runner.union_acceptance(&union, &constructor, &decider, 60, seed);
+            prop_assert_eq!(engine.successes, legacy.successes);
+            prop_assert_eq!(engine.p_hat, legacy.p_hat);
+        }
+    }
+
+    #[test]
+    fn glued_plans_match_legacy_gluing_experiment(
+        part_size in 8usize..16,
+        nu in 2usize..5,
+        seed in 0u64..100_000,
+    ) {
+        // The Claims-4/5 kernels: all-nodes acceptance and the
+        // far-from-every-anchor event, against the legacy GluingExperiment
+        // estimators (which re-run one BFS per anchor per trial to find the
+        // participation set the GluedPlan precomputes).
+        let parts = consecutive_cycle_candidates(vec![part_size; nu]);
+        let anchors: Vec<NodeId> = parts
+            .iter()
+            .map(|h| anchor_candidates(h, 0, 1, 0.75)[0])
+            .collect();
+        let experiment = GluingExperiment::build(parts, anchors, 0, 1);
+        let constructor = coin_mixing_algo(0);
+        let decider = parity_decider();
+
+        let glued_anchors: Vec<NodeId> = (0..nu).map(|i| experiment.glued_anchor(i)).collect();
+        let instance = experiment.as_hard_instance();
+        let plan = GluedPlan::new(
+            &instance.as_instance(),
+            glued_anchors,
+            experiment.exclusion_radius,
+            0,
+            1,
+        );
+
+        let far_legacy = experiment.acceptance_far_from_all_anchors(&constructor, &decider, 50, seed);
+        let full_legacy = experiment.acceptance(&constructor, &decider, 50, seed ^ 0xF);
+        for runner in [BatchRunner::new(), BatchRunner::sequential()] {
+            let far = runner.glued_far_acceptance(&plan, &constructor, &decider, 50, seed);
+            prop_assert_eq!(far.successes, far_legacy.successes);
+            let full = runner.glued_acceptance(&plan, &constructor, &decider, 50, seed ^ 0xF);
+            prop_assert_eq!(full.successes, full_legacy.successes);
+        }
+    }
+}
+
+/// A radius-1 decider mixing outputs and coins — enough entropy to catch
+/// any stream divergence between the composite kernels and the legacy
+/// estimators.
+fn parity_decider() -> FnRandomizedDecider<impl Fn(&View, &Coins) -> bool + Sync> {
+    FnRandomizedDecider::new(1, "parity-coin", |view: &View, coins: &Coins| {
+        let mut digest = view.output(view.center_local()).as_u64();
+        for &i in &view.center_neighbors() {
+            digest = digest.wrapping_mul(31).wrapping_add(view.output(i).as_u64());
+        }
+        let mut rng = coins.for_center(view);
+        (digest ^ rng.random::<u64>()) % 5 != 0
+    })
+}
+
+/// Pinned seed-0 regression: the exact seed the E6/E7 drivers run at.
+#[test]
+fn union_and_glued_kernels_match_legacy_at_seed_zero() {
+    let hard = consecutive_cycle_candidates([12]);
+    let constructor = coin_mixing_algo(0);
+    let decider = parity_decider();
+    for nu in [1usize, 4, 8] {
+        let legacy = disjoint_union_acceptance(&constructor, &decider, &hard, nu, 200, 0);
+        let parts: Vec<_> = hard.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect();
+        let union = UnionPlan::for_parts(&parts, nu, 0, 1);
+        let engine = BatchRunner::new().union_acceptance(&union, &constructor, &decider, 200, 0);
+        assert_eq!(engine.successes, legacy.successes, "union nu={nu}");
+    }
+
+    let parts = consecutive_cycle_candidates(vec![16; 3]);
+    let anchors: Vec<NodeId> = parts
+        .iter()
+        .map(|h| anchor_candidates(h, 0, 1, 0.75)[0])
+        .collect();
+    let experiment = GluingExperiment::build(parts, anchors, 0, 1);
+    let glued_anchors: Vec<NodeId> = (0..3).map(|i| experiment.glued_anchor(i)).collect();
+    let instance = experiment.as_hard_instance();
+    let plan = GluedPlan::new(&instance.as_instance(), glued_anchors, 1, 0, 1);
+    let far_legacy = experiment.acceptance_far_from_all_anchors(&constructor, &decider, 200, 0);
+    let far_engine = BatchRunner::new().glued_far_acceptance(&plan, &constructor, &decider, 200, 0);
+    assert_eq!(far_engine.successes, far_legacy.successes);
+    let full_legacy = experiment.acceptance(&constructor, &decider, 200, 0);
+    let full_engine = BatchRunner::new().glued_acceptance(&plan, &constructor, &decider, 200, 0);
+    assert_eq!(full_engine.successes, full_legacy.successes);
 }

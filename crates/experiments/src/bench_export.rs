@@ -20,14 +20,32 @@
 //!   per node per trial) vs the engine's cached decision plan.
 //! * `ball-extraction` — the substrate: per-node `Ball::extract` vs the
 //!   shared-scratch [`BallArena`] pass.
+//!
+//! The derand groups (new with the pipeline refactor) measure the two
+//! Theorem-1 kernels against their legacy `rlnc_core::derand` reference
+//! implementations, asserting bit-identical success counts on the way:
+//!
+//! * `boosted-union-acceptance` — Claim 3's decide-over-union: legacy
+//!   `disjoint_union_acceptance` (per-trial view collection on the union)
+//!   vs the pipeline's [`UnionPlan`] kernel.
+//! * `glued-acceptance` — Claims 4–5's far-from-every-anchor event: legacy
+//!   `GluingExperiment::acceptance_far_from_all_anchors` (per-trial,
+//!   per-anchor BFS + per-node view collection) vs the
+//!   [`GluedPlan`](rlnc_engine::GluedPlan) kernel with its precomputed
+//!   participation set.
 
 use rlnc_core::decision::acceptance_probability;
+use rlnc_core::derand::boosting::disjoint_union_acceptance;
+use rlnc_core::derand::gluing::{anchor_candidates, GluingExperiment};
+use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
 use rlnc_core::prelude::*;
-use rlnc_engine::{BatchRunner, ExecutionPlan};
+use rlnc_derand::{DerandPipeline, OneSidedLclDecider, PipelineParams};
+use rlnc_engine::{BatchRunner, ExecutionPlan, UnionPlan};
 use rlnc_graph::arena::BallArena;
 use rlnc_graph::ball::Ball;
 use rlnc_graph::generators::cycle;
 use rlnc_graph::{IdAssignment, NodeId};
+use rlnc_langs::coloring::ProperColoring;
 use rlnc_langs::random_coloring::RandomColoring;
 use rlnc_par::trials::MonteCarlo;
 use rlnc_sweep::workload::planted_cycle_configuration;
@@ -157,6 +175,87 @@ fn ball_extraction(quick: bool) -> BenchGroup {
     }
 }
 
+fn boosted_union_acceptance(quick: bool) -> BenchGroup {
+    let (cycle_size, nu, trials, reps) = if quick {
+        (12usize, 6usize, 300u64, 3)
+    } else {
+        (12, 6, 1_500, 5)
+    };
+    let hard = consecutive_cycle_candidates([cycle_size]);
+    let constructor = RandomColoring::new(3);
+    let language = ProperColoring::new(3);
+    let decider = OneSidedLclDecider::new(language, 0.75);
+
+    let mut legacy_successes = 0u64;
+    let legacy_ns = best_of(reps, || {
+        let est = disjoint_union_acceptance(&constructor, &decider, &hard, nu, trials, 7);
+        legacy_successes = est.successes;
+    });
+    let mut engine_successes = 0u64;
+    let engine_ns = best_of(reps, || {
+        let parts: Vec<_> = hard.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect();
+        let union = UnionPlan::for_parts(&parts, nu, 0, 1);
+        let est = BatchRunner::new().union_acceptance(&union, &constructor, &decider, trials, 7);
+        engine_successes = est.successes;
+    });
+    assert_eq!(
+        legacy_successes, engine_successes,
+        "union kernel must be bit-identical to the legacy estimator"
+    );
+    BenchGroup {
+        name: "boosted-union-acceptance",
+        n: cycle_size * nu,
+        trials,
+        legacy_ns,
+        engine_ns,
+    }
+}
+
+fn glued_acceptance(quick: bool) -> BenchGroup {
+    let (cycle_size, nu, trials, reps) = if quick {
+        (16usize, 4usize, 200u64, 3)
+    } else {
+        (16, 4, 1_000, 5)
+    };
+    let constructor = RandomColoring::new(3);
+    let language = ProperColoring::new(3);
+    let decider = OneSidedLclDecider::new(language, 0.75);
+    let params = PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 };
+    let build_parts = || consecutive_cycle_candidates(vec![cycle_size; nu]);
+    let anchors_of = |parts: &[rlnc_core::derand::HardInstance]| -> Vec<NodeId> {
+        parts.iter().map(|h| anchor_candidates(h, 0, 1, 0.75)[0]).collect()
+    };
+
+    let mut legacy_successes = 0u64;
+    let legacy_ns = best_of(reps, || {
+        let parts = build_parts();
+        let anchors = anchors_of(&parts);
+        let experiment = GluingExperiment::build(parts, anchors, 0, 1);
+        let est = experiment.acceptance_far_from_all_anchors(&constructor, &decider, trials, 11);
+        legacy_successes = est.successes;
+    });
+    let pipeline = DerandPipeline::new(&constructor, &decider, &language, params);
+    let mut engine_successes = 0u64;
+    let engine_ns = best_of(reps, || {
+        let parts = build_parts();
+        let anchors = anchors_of(&parts);
+        let stage = pipeline.glued_stage(parts, anchors);
+        let est = pipeline.glued_far_acceptance(&stage, trials, 11);
+        engine_successes = est.successes;
+    });
+    assert_eq!(
+        legacy_successes, engine_successes,
+        "glued kernel must be bit-identical to the legacy estimator"
+    );
+    BenchGroup {
+        name: "glued-acceptance",
+        n: cycle_size * nu + 2 * nu,
+        trials,
+        legacy_ns,
+        engine_ns,
+    }
+}
+
 /// Runs all engine-vs-legacy measurements.
 pub fn run(quick: bool) -> BenchExport {
     BenchExport {
@@ -165,6 +264,8 @@ pub fn run(quick: bool) -> BenchExport {
             ring_monte_carlo(quick),
             resilient_decider(quick),
             ball_extraction(quick),
+            boosted_union_acceptance(quick),
+            glued_acceptance(quick),
         ],
     }
 }
@@ -227,7 +328,7 @@ mod tests {
     #[test]
     fn quick_export_measures_and_serializes() {
         let export = run(true);
-        assert_eq!(export.groups.len(), 3);
+        assert_eq!(export.groups.len(), 5);
         for group in &export.groups {
             assert!(group.legacy_ns > 0 && group.engine_ns > 0);
             assert!(group.speedup() > 0.0);
@@ -236,6 +337,8 @@ mod tests {
         assert!(json.contains("\"schema\": \"rlnc-bench-export-v1\""));
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("ring-monte-carlo"));
+        assert!(json.contains("boosted-union-acceptance"));
+        assert!(json.contains("glued-acceptance"));
         assert!(json.ends_with("}\n"));
         let summary = to_summary(&export);
         assert!(summary.contains("speedup"));

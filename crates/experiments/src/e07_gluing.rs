@@ -12,8 +12,9 @@ use rlnc_core::derand::gluing::{
     anchor_candidates, anchor_count, claim5_bound, gluing_repetitions, separation_distance,
     GluingExperiment,
 };
-use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstanceSearch};
+use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
 use rlnc_core::prelude::*;
+use rlnc_derand::{DerandPipeline, PipelineParams};
 use rlnc_graph::traversal::{distance, is_connected};
 use rlnc_langs::coloring::{GlobalGreedyColoring, ProperColoring};
 use rlnc_langs::faulty::FaultyConstructor;
@@ -46,9 +47,18 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let decider = RejectBadBallsDecider::new(3, p);
 
     let language = ProperColoring::new(3);
-    let search = HardInstanceSearch::new(&language);
+    // All estimation now routes through the rlnc-derand pipeline: cached
+    // composite plans and a precomputed far-from-anchors participation set
+    // instead of per-trial view collection and per-anchor BFS. The streams
+    // are bit-identical to the legacy GluingExperiment estimators.
+    let pipeline = DerandPipeline::new(
+        &constructor,
+        &decider,
+        &language,
+        PipelineParams { r, p, t, t_prime },
+    );
     let prototype = consecutive_cycle_candidates([cycle_size]).remove(0);
-    let beta = search.failure_probability(&constructor, &prototype, trials, seed ^ 0xE7).p_hat;
+    let beta = pipeline.failure_probability(&prototype, trials, seed ^ 0xE7).p_hat;
     let nu_prime_star = gluing_repetitions(r, p, beta);
 
     // Structural checks on one gluing of 3 parts.
@@ -91,9 +101,9 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
             .iter()
             .map(|h| anchor_candidates(h, t, t_prime, p)[0])
             .collect();
-        let experiment = GluingExperiment::build(parts, anchors, t, t_prime);
-        let far = experiment.acceptance_far_from_all_anchors(&constructor, &decider, trials, seed ^ (0xE7 + nu as u64));
-        let full = experiment.acceptance(&constructor, &decider, trials, seed ^ (0x1E7 + nu as u64));
+        let stage = pipeline.glued_stage(parts, anchors);
+        let far = pipeline.glued_far_acceptance(&stage, trials, seed ^ (0xE7 + nu as u64));
+        let full = pipeline.glued_acceptance(&stage, trials, seed ^ (0x1E7 + nu as u64));
         let bound = claim5_bound(beta, p, mu).powi(nu as i32);
         monotone &= far.p_hat <= previous_far + 0.05;
         previous_far = far.p_hat;

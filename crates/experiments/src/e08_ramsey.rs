@@ -8,9 +8,11 @@
 //! whose identities come from the refined set.
 
 use crate::report::{ExperimentReport, Finding, Scale, Table};
-use rlnc_core::derand::ramsey::{collect_templates, consistent_id_set, OrderInvariantLift};
+use rlnc_core::derand::ramsey::OrderInvariantLift;
 use rlnc_core::order_invariant::{check_order_invariance, standard_monotone_maps};
 use rlnc_core::prelude::*;
+use rlnc_derand::{deterministic_agreement, ramsey_stage};
+use rlnc_engine::BatchRunner;
 use rlnc_graph::generators::cycle;
 use rlnc_graph::IdAssignment;
 
@@ -32,6 +34,11 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let graph = cycle(n);
     let input = Labeling::empty(n);
     let ids = IdAssignment::consecutive(&graph);
+
+    // The Claim-1 stage of the rlnc-derand pipeline: it concerns only the
+    // wrapped deterministic algorithm, so E8 uses the standalone stage
+    // functions (no constructor/decider bundle needed).
+    let runner = BatchRunner::new();
 
     // Three wrapped algorithms: one already order-invariant, two identity-
     // dependent in different ways.
@@ -65,22 +72,27 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
     let mut all_agreements = true;
 
     for (label, algo) in &algorithms {
-        let radius = LocalAlgorithm::radius(algo);
         let inner_invariant = check_order_invariance(algo, &graph, &input, &ids, &map_refs);
-        let templates = collect_templates(&[Instance::new(&graph, &input, &ids)], radius);
         let universe: Vec<u64> = (1..=universe_size).collect();
-        let refined = consistent_id_set(algo, &templates, &universe, samples, seed ^ 0xE8);
-        let lift = OrderInvariantLift::new(algo, refined.clone());
+        let stage = ramsey_stage(
+            algo,
+            &[Instance::new(&graph, &input, &ids)],
+            &universe,
+            samples,
+            seed ^ 0xE8,
+        );
+        let lift = OrderInvariantLift::new(algo, stage.id_set.clone());
         let lift_invariant = check_order_invariance(&lift, &graph, &input, &ids, &map_refs);
         all_lifts_invariant &= lift_invariant;
 
         // Agreement on an instance whose identities are drawn from the
-        // refined set (preserving order): the Appendix-A correctness.
-        let in_set_ids = IdAssignment::new(refined.iter().take(n).copied().collect());
+        // refined set (preserving order): the Appendix-A correctness,
+        // checked through the engine (one plan serves both evaluations,
+        // reusing the lift built above).
+        let in_set_ids = IdAssignment::new(stage.id_set.iter().take(n).copied().collect());
         let agreement = if in_set_ids.len() == n {
             let inst = Instance::new(&graph, &input, &in_set_ids);
-            let sim = Simulator::new();
-            sim.run(algo, &inst) == sim.run(&lift, &inst)
+            deterministic_agreement(&runner, algo, &lift, &inst)
         } else {
             false
         };
@@ -90,7 +102,7 @@ pub fn run_seeded(scale: Scale, seed: u64) -> ExperimentReport {
             label.to_string(),
             inner_invariant.to_string(),
             lift_invariant.to_string(),
-            refined.len().to_string(),
+            stage.id_set.len().to_string(),
             agreement.to_string(),
         ]);
     }

@@ -32,6 +32,26 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
     dist
 }
 
+/// The nodes participating in the combined "accepts far from every anchor"
+/// event of Claims 4–5: a node participates iff it lies at distance
+/// **greater than** `exclusion_radius` from *at least one* anchor (for each
+/// anchor, the nodes beyond its exclusion ball must accept; a node inside
+/// every anchor's ball is never quantified over). Computing this mask once
+/// per glued instance replaces a per-trial, per-anchor BFS in the legacy
+/// estimators. Returned in ascending node order.
+pub fn nodes_far_from_any(graph: &Graph, anchors: &[NodeId], exclusion_radius: u32) -> Vec<NodeId> {
+    let mut participates = vec![false; graph.node_count()];
+    for &anchor in anchors {
+        let dist = bfs_distances(graph, anchor);
+        for v in graph.nodes() {
+            if dist[v.index()] > exclusion_radius {
+                participates[v.index()] = true;
+            }
+        }
+    }
+    graph.nodes().filter(|v| participates[v.index()]).collect()
+}
+
 /// BFS truncated at radius `t`: distances `> t` are reported as
 /// [`UNREACHABLE`]. Cost is proportional to the size of the ball, not the
 /// graph, which matters when collecting constant-radius views of every node
@@ -242,5 +262,23 @@ mod tests {
         let g = cycle(100);
         let s = spread_set(&g, 2, 3);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn far_from_any_is_the_union_of_ball_complements() {
+        let g = cycle(12);
+        let anchors = [NodeId(0), NodeId(6)];
+        let far = nodes_far_from_any(&g, &anchors, 2);
+        for v in g.nodes() {
+            let expected = anchors
+                .iter()
+                .any(|&a| distance(&g, a, v).unwrap() > 2);
+            assert_eq!(far.contains(&v), expected, "node {v}");
+        }
+        // Radius 0 excludes only the anchors themselves.
+        let far0 = nodes_far_from_any(&g, &[NodeId(3)], 0);
+        assert_eq!(far0.len(), 11);
+        // A radius covering the whole graph leaves no participants.
+        assert!(nodes_far_from_any(&g, &[NodeId(0)], 6).is_empty());
     }
 }

@@ -141,6 +141,53 @@ impl LocalAlgorithm for SelectLocalMinimum {
     }
 }
 
+/// The zero-round Bernoulli constructor for `amos`: every node selects
+/// itself independently with probability `q`. It fails (two or more nodes
+/// selected) with probability `1 − (1−q)^n − n·q·(1−q)^{n−1}`, which is the
+/// positive failure rate β the derandomization pipeline's Claim-2/Claim-3
+/// stages need from a concrete randomized constructor.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliSelection {
+    q: f64,
+}
+
+impl BernoulliSelection {
+    /// Each node selects itself with probability `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ q ≤ 1`.
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "selection probability must lie in [0, 1]");
+        BernoulliSelection { q }
+    }
+
+    /// The per-node selection probability.
+    pub fn selection_probability(&self) -> f64 {
+        self.q
+    }
+
+    /// Theoretical failure probability (`≥ 2` selected) on an `n`-node
+    /// instance.
+    pub fn failure_probability(&self, n: usize) -> f64 {
+        let keep = (1.0 - self.q).powi(n as i32 - 1);
+        1.0 - keep * (1.0 - self.q) - n as f64 * self.q * keep
+    }
+}
+
+impl RandomizedLocalAlgorithm for BernoulliSelection {
+    fn radius(&self) -> u32 {
+        0
+    }
+
+    fn output(&self, view: &View, coins: &Coins) -> Label {
+        Label::from_bool(coins.for_center(view).random_bool(self.q))
+    }
+
+    fn name(&self) -> String {
+        format!("bernoulli-selection(q={})", self.q)
+    }
+}
+
 /// Builds an output labeling with exactly the given nodes selected.
 pub fn selection_output(n: usize, selected: &[NodeId]) -> Labeling {
     let mut labeling = Labeling::new(vec![Label::from_bool(false); n]);
@@ -248,5 +295,31 @@ mod tests {
         let local = SelectLocalMinimum::new(1);
         let out = Simulator::new().run(&local, &inst);
         assert!(Amos::selected_count(&IoConfig::new(&g, &x, &out)) >= 2);
+    }
+
+    #[test]
+    fn bernoulli_selection_fails_with_the_predicted_probability() {
+        let g = cycle(10);
+        let x = Labeling::empty(10);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let constructor = BernoulliSelection::new(0.2);
+        assert_eq!(RandomizedLocalAlgorithm::radius(&constructor), 0);
+        assert!(constructor.name().contains("0.2"));
+        let lang = Amos::new();
+        let est = Simulator::new().construction_success(&constructor, &inst, &lang, 6000, 17);
+        let failure = constructor.failure_probability(10);
+        assert!(failure > 0.3 && failure < 0.9, "failure {failure} not informative");
+        assert!(
+            ((1.0 - est.p_hat) - failure).abs() < 0.03,
+            "measured failure {} vs theory {failure}",
+            1.0 - est.p_hat
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "selection probability")]
+    fn bernoulli_selection_rejects_bad_probability() {
+        let _ = BernoulliSelection::new(1.5);
     }
 }

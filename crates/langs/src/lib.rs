@@ -46,7 +46,7 @@ pub mod mis;
 pub mod random_coloring;
 pub mod weak_coloring;
 
-pub use amos::{Amos, AmosGoldenDecider, GOLDEN_GUARANTEE};
+pub use amos::{Amos, AmosGoldenDecider, BernoulliSelection, GOLDEN_GUARANTEE};
 pub use coloring::{ColoringDecider, GlobalGreedyColoring, ProperColoring, RankColoring};
 pub use cole_vishkin::{oriented_ring_instance, ColeVishkinRingColoring};
 pub use dominating::{DominatingSet, MinIdPointerDominatingSet, MinimalDominatingSet};

@@ -66,6 +66,9 @@ impl Registry {
         });
         registry.insert(resilient_boundary_spec());
         registry.insert(boosting_spec(8));
+        registry.insert(glued_decay_spec(6));
+        registry.insert(ramsey_lift_spec());
+        registry.insert(theorem1_pipeline_spec());
         registry
     }
 
@@ -133,6 +136,66 @@ pub fn boosting_spec(max_nu: u64) -> ScenarioSpec {
     }
 }
 
+/// The E7 decay grid as a scenario: Claims 4–5 glued acceptance across
+/// `ν' ∈ {2, ..., max_parts}` glued hard cycles, evaluated through the
+/// engine's [`GluedPlan`](rlnc_engine::GluedPlan) kernels.
+pub fn glued_decay_spec(max_parts: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "glued-decay".into(),
+        description: "Claims 4–5: acceptance far from every anchor on the connected gluing of ν' hard cycles decays like (1−β(1−p)/µ)^ν'".into(),
+        families: vec![Family::Cycle],
+        sizes: vec![16],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (2..=max_parts.max(2)).map(Params::one).collect(),
+        base_trials: 1_500,
+        workload: Workload::GluedDecay {
+            cycle_size: 16,
+            per_node_fault: 0.05,
+            colors: 3,
+            decider_p: 0.75,
+        },
+    }
+}
+
+/// The Claim-1 grid as a scenario: the Ramsey-refined identity set and the
+/// order-invariant lift's agreement, for three wrapped algorithms.
+pub fn ramsey_lift_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "ramsey-lift".into(),
+        description: "Claim 1 / Appendix A: the lift A' agrees with A on instances whose identities come from the Ramsey-refined set".into(),
+        families: vec![Family::Cycle, Family::Torus],
+        sizes: vec![24],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (0..3).map(Params::one).collect(),
+        base_trials: 200,
+        // The per-round sample count must stay high regardless of scale, or
+        // the refined set can retain stray identities (same caveat as E8).
+        workload: Workload::RamseyLift {
+            universe: 160,
+            samples: 400,
+        },
+    }
+}
+
+/// The end-to-end Theorem-1 scenario: the full four-stage pipeline across
+/// graph families, a ν grid, and three language/algorithm pairs from
+/// `rlnc-langs` (3-coloring, `amos`, weak 2-coloring — see
+/// [`rlnc_derand::PipelineCase`]).
+pub fn theorem1_pipeline_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "theorem1-pipeline".into(),
+        description: "Theorem 1 end to end: ramsey lift → hard-instance search → boosted union → connected gluing, for 3-coloring, amos, and weak 2-coloring".into(),
+        families: vec![Family::Cycle, Family::Circulant2, Family::Prism],
+        sizes: vec![16],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (0..3)
+            .flat_map(|case| [2u64, 4].iter().map(move |&nu| Params::two(nu, case)))
+            .collect(),
+        base_trials: 240,
+        workload: Workload::Theorem1Pipeline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +254,79 @@ mod tests {
         assert_eq!(boosting_spec(5).params.len(), 5);
         assert_eq!(boosting_spec(0).params.len(), 1, "ν is clamped to at least 1");
         assert!(boosting_spec(3).validate().is_ok());
+        assert_eq!(glued_decay_spec(6).params.len(), 5);
+        assert_eq!(glued_decay_spec(0).params.len(), 1, "ν' is clamped to at least 2");
+        assert!(glued_decay_spec(4).validate().is_ok());
+        assert!(ramsey_lift_spec().validate().is_ok());
+        assert!(theorem1_pipeline_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn derand_scenarios_are_registered() {
+        let registry = Registry::builtin();
+        for name in ["glued-decay", "ramsey-lift", "theorem1-pipeline"] {
+            assert!(registry.get(name).is_some(), "{name} missing from the registry");
+        }
+    }
+
+    #[test]
+    fn theorem1_pipeline_covers_three_cases_and_families() {
+        let spec = theorem1_pipeline_spec();
+        assert!(spec.families.len() >= 3, "need several graph families");
+        let cases: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.b).collect();
+        assert_eq!(cases.len(), 3, "all three language/algorithm pairs must appear");
+        let nus: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.a).collect();
+        assert!(nus.len() >= 2, "the ν axis must be a real grid");
+    }
+
+    #[test]
+    fn theorem1_pipeline_smoke_grid_point_runs_every_case() {
+        let spec = theorem1_pipeline_spec();
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        for case in 0..3u64 {
+            let point = grid
+                .iter()
+                .find(|p| p.params.b == case)
+                .expect("a grid point per case");
+            let prepared = spec
+                .workload
+                .prepare(point, rlnc_par::SeedSequence::new(7).child(point.index));
+            let outcome = prepared.run_trial(rlnc_par::SeedSequence::new(7).child(1).child(0));
+            assert!((0.0..=1.0).contains(&outcome.value), "case {case}");
+        }
+    }
+
+    #[test]
+    fn glued_decay_acceptance_decays_with_parts() {
+        let spec = glued_decay_spec(4);
+        let run = crate::SweepExecutor::new(rlnc_par::Scale::Smoke).with_seed(3).run(&spec);
+        assert_eq!(run.records.len(), 3);
+        let first = &run.records[0];
+        let last = &run.records[run.records.len() - 1];
+        assert!(
+            last.p_hat <= first.p_hat + 0.15,
+            "far-acceptance should not grow with ν' ({} -> {})",
+            first.p_hat,
+            last.p_hat
+        );
+        // The value channel records the (all-nodes) acceptance, which can
+        // only be rarer than the far event.
+        for record in &run.records {
+            assert!(record.mean_value <= record.p_hat + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ramsey_lift_scenario_agrees_on_in_set_instances() {
+        let spec = ramsey_lift_spec();
+        let run = crate::SweepExecutor::new(rlnc_par::Scale::Smoke).with_seed(5).run(&spec);
+        for record in &run.records {
+            assert_eq!(
+                record.successes, record.trials,
+                "lift must agree with the wrapped algorithm on in-set instances (point {})",
+                record.point
+            );
+            assert!(record.mean_value > 0.0 && record.mean_value <= 1.0);
+        }
     }
 }

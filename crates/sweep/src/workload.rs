@@ -16,17 +16,20 @@
 //! equivalence suite pins this down).
 
 use crate::spec::{GridPoint, IdScheme};
-use rlnc_core::algorithm::Coins;
+use rlnc_core::algorithm::{Coins, LocalAlgorithm};
 use rlnc_core::decision::RandomizedDecider;
 use rlnc_core::derand::boosting::build_disjoint_union;
-use rlnc_core::derand::hard_instances::consecutive_cycle_candidates;
+use rlnc_core::derand::gluing::anchor_candidates;
+use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstance};
+use rlnc_core::derand::ramsey::OrderInvariantLift;
 use rlnc_core::language::DistributedLanguage;
 use rlnc_core::prelude::{
-    Instance, IoConfig, Label, Labeling, RandomizedLocalAlgorithm, Simulator, View,
+    FnAlgorithm, Instance, IoConfig, Label, Labeling, RandomizedLocalAlgorithm, Simulator, View,
 };
 use rlnc_core::relaxation::EpsilonSlack;
 use rlnc_core::resilient::{theoretical_acceptance, ResilientDecider};
-use rlnc_engine::{DecisionScratch, ExecutionPlan};
+use rlnc_derand::{DerandPipeline, PipelineCase};
+use rlnc_engine::{DecisionScratch, ExecutionPlan, GluedPlan, UnionPlan};
 use rlnc_graph::generators::{cycle, Family};
 use rlnc_graph::{Graph, IdAssignment, NodeId};
 use rlnc_langs::coloring::{improperly_colored_nodes, GlobalGreedyColoring, ProperColoring};
@@ -34,6 +37,7 @@ use rlnc_langs::faulty::FaultyConstructor;
 use rlnc_langs::random_coloring::RandomColoring;
 use rlnc_par::rng::SeedSequence;
 use rlnc_par::trials::TrialOutcome;
+use rand::seq::IndexedRandom;
 use rand::Rng;
 
 /// The Monte-Carlo kernel a scenario runs at every grid point.
@@ -76,6 +80,44 @@ pub enum Workload {
         /// one-sided guarantee).
         decider_p: f64,
     },
+    /// Claims 4–5 glued decay: the fault-injected colorer runs on the
+    /// connected gluing of `params.a` hard cycles; the engine's
+    /// [`GluedPlan`] evaluates both the "accepts far from every anchor"
+    /// event (the trial's success) and the all-nodes acceptance (the
+    /// trial's value) against cached views and a precomputed participation
+    /// set. Requires [`Family::Cycle`].
+    GluedDecay {
+        /// Size of each glued hard cycle.
+        cycle_size: usize,
+        /// Per-node corruption probability of the faulty constructor.
+        per_node_fault: f64,
+        /// Palette size.
+        colors: u64,
+        /// The decider's one-sided guarantee `p`.
+        decider_p: f64,
+    },
+    /// Claim 1 Ramsey lift: refine an identity universe until the wrapped
+    /// algorithm (selected by `params.a`: 0 = rank coloring, 1 = id
+    /// parity, 2 = id mod 3) is consistent on every ball type, then test
+    /// per trial that the lift `A'` agrees with `A` on a fresh instance
+    /// whose identities are drawn from the refined set. The trial value is
+    /// the refined set's survival rate. Works on every graph family.
+    RamseyLift {
+        /// Identity-universe size (raised to `6 × n` when smaller, so the
+        /// refined set can always relabel a whole instance).
+        universe: u64,
+        /// Consistency samples per template per refinement round.
+        samples: u32,
+    },
+    /// The full four-stage Theorem-1 pipeline (ramsey lift → hard-instance
+    /// search → boosted disjoint union → connected gluing), generic over
+    /// the language/constructor/decider bundle selected by `params.b`
+    /// (see [`PipelineCase::from_index`]); `params.a` is the repetition
+    /// count `ν`. A trial constructs and decides once on the planned
+    /// union (the trial's value) and once on the planned gluing's
+    /// far-from-anchors event (the trial's success). Requires a connected
+    /// regular family (cycle, circulant, prism, torus).
+    Theorem1Pipeline,
 }
 
 impl Workload {
@@ -85,20 +127,39 @@ impl Workload {
             Workload::SlackColoring { .. } => "slack-coloring",
             Workload::ResilientBoundary { .. } => "resilient-boundary",
             Workload::BoostingUnion { .. } => "boosting-union",
+            Workload::GluedDecay { .. } => "glued-decay",
+            Workload::RamseyLift { .. } => "ramsey-lift",
+            Workload::Theorem1Pipeline => "theorem1-pipeline",
         }
     }
 
     /// Rejects grid families the kernel cannot run on.
     pub fn check_family(&self, family: Family) -> Result<(), String> {
         match self {
-            Workload::SlackColoring { .. } => Ok(()),
-            Workload::ResilientBoundary { .. } | Workload::BoostingUnion { .. } => {
+            Workload::SlackColoring { .. } | Workload::RamseyLift { .. } => Ok(()),
+            Workload::ResilientBoundary { .. }
+            | Workload::BoostingUnion { .. }
+            | Workload::GluedDecay { .. } => {
                 if family == Family::Cycle {
                     Ok(())
                 } else {
                     Err(format!(
                         "workload '{}' runs on the cycle family only, got '{}'",
                         self.name(),
+                        family.name()
+                    ))
+                }
+            }
+            Workload::Theorem1Pipeline => {
+                if matches!(
+                    family,
+                    Family::Cycle | Family::Circulant2 | Family::Prism | Family::Torus
+                ) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "workload 'theorem1-pipeline' needs a connected regular family \
+                         (cycle, circulant-2, prism, torus), got '{}'",
                         family.name()
                     ))
                 }
@@ -112,10 +173,16 @@ impl Workload {
     pub fn normalize_size(&self, n: usize) -> usize {
         match self {
             Workload::ResilientBoundary { .. } => (n.max(48) / 6) * 6,
-            // The boosting kernel always builds ν copies of its fixed hard
-            // cycle, so the recorded size is pinned to the copy size (the
-            // scale knob varies trials, not the instance).
-            Workload::BoostingUnion { cycle_size, .. } => *cycle_size,
+            // The boosting and gluing kernels always build their composites
+            // out of copies of a fixed hard cycle, so the recorded size is
+            // pinned to the copy size (the scale knob varies trials, not
+            // the instance).
+            Workload::BoostingUnion { cycle_size, .. }
+            | Workload::GluedDecay { cycle_size, .. } => *cycle_size,
+            // The pipeline's hard-instance candidates need room for anchors
+            // pairwise 2(t + t') apart and a usable Ramsey probe.
+            Workload::Theorem1Pipeline => n.max(12),
+            Workload::RamseyLift { .. } => n.max(8),
             Workload::SlackColoring { .. } => n,
         }
     }
@@ -135,7 +202,11 @@ impl Workload {
                 let margin = (theory - 0.5).abs().max(0.015);
                 (0.25 * (4.0 / margin).powi(2)).ceil() as u64
             }
-            Workload::SlackColoring { .. } | Workload::BoostingUnion { .. } => 0,
+            Workload::SlackColoring { .. }
+            | Workload::BoostingUnion { .. }
+            | Workload::GluedDecay { .. }
+            | Workload::RamseyLift { .. }
+            | Workload::Theorem1Pipeline => 0,
         }
     }
 
@@ -229,7 +300,138 @@ impl Workload {
                     decision_plan,
                 }
             }
+            Workload::GluedDecay {
+                cycle_size,
+                per_node_fault,
+                colors,
+                decider_p,
+            } => {
+                let (t, t_prime) = (0u32, 1u32);
+                let nu = point.params.a.max(2) as usize;
+                let parts = consecutive_cycle_candidates(vec![cycle_size; nu]);
+                let anchors: Vec<NodeId> = parts
+                    .iter()
+                    .map(|part| anchor_candidates(part, t, t_prime, decider_p)[0])
+                    .collect();
+                let constructor = FaultyConstructor::new(
+                    GlobalGreedyColoring::new(cycle_size as u32, colors),
+                    per_node_fault,
+                    Label::from_u64(0),
+                );
+                let decider = RejectBadBallsDecider::new(colors, decider_p);
+                // The whole glued composite — both view sets and the
+                // Claims-4/5 participation mask — is planned once by the
+                // pipeline's gluing stage; trials only flip coins.
+                let language = ProperColoring::new(colors);
+                let stage = DerandPipeline::new(
+                    &constructor,
+                    &decider,
+                    &language,
+                    rlnc_derand::PipelineParams { r: 0.9, p: decider_p, t, t_prime },
+                )
+                .glued_stage(parts, anchors);
+                Prepared::Glued {
+                    constructor,
+                    decider,
+                    plan: stage.plan,
+                }
+            }
+            Workload::RamseyLift { universe, samples } => {
+                let graph = point.family.generate(point.n, &mut prep_rng);
+                let n = graph.node_count();
+                let input = Labeling::empty(n);
+                let ids = point.id_scheme.build(&graph, &mut prep_rng);
+                let algo = ramsey_algorithm(point.params.a);
+                let universe: Vec<u64> = (1..=universe.max(6 * n as u64)).collect();
+                let stage = rlnc_derand::ramsey_stage(
+                    &*algo,
+                    &[Instance::new(&graph, &input, &ids)],
+                    &universe,
+                    samples as usize,
+                    point_seed.child(0).seed(),
+                );
+                Prepared::Ramsey {
+                    graph,
+                    input,
+                    algo,
+                    id_set: stage.id_set,
+                    universe_size: stage.universe_size,
+                }
+            }
+            Workload::Theorem1Pipeline => {
+                let case = PipelineCase::from_index(point.params.b);
+                let bundle = case.bundle();
+                let nu = point.params.a.max(2) as usize;
+                // Claim-2 candidates: three family members of increasing
+                // size, consecutive identities, empty inputs.
+                let candidates: Vec<HardInstance> = [point.n, point.n + 2, point.n + 4]
+                    .iter()
+                    .map(|&size| {
+                        let graph = point.family.generate(size, &mut prep_rng);
+                        let input = Labeling::empty(graph.node_count());
+                        let ids = IdAssignment::consecutive(&graph);
+                        HardInstance::new(graph, input, ids)
+                    })
+                    .collect();
+                let pipeline = DerandPipeline::new(
+                    &*bundle.constructor,
+                    &*bundle.decider,
+                    &*bundle.language,
+                    bundle.params,
+                );
+                // Stage 1: the Ramsey refinement of the first deterministic
+                // algorithm over a universe sized to the probe. Its output
+                // feeds stage 2: the smallest surviving identity becomes the
+                // hard-instance floor, restricting the pool toward the
+                // refined universe exactly as Claim 1 hands Claim 2 the
+                // consistent set.
+                let universe: Vec<u64> = (1..=(4 * point.n as u64).max(48)).collect();
+                let ramsey = pipeline.ramsey_stage(
+                    &*bundle.det_family[0],
+                    &[candidates[0].as_instance()],
+                    &universe,
+                    40,
+                    point_seed.child(0).seed(),
+                );
+                let id_floor = ramsey.id_set.first().copied().unwrap_or(1);
+                // Stage 2: one hard instance per deterministic algorithm,
+                // identity ranges pairwise disjoint above the Claim-1 floor.
+                let algos: Vec<&dyn LocalAlgorithm> =
+                    bundle.det_family.iter().map(|b| &**b).collect();
+                let hard = pipeline.hard_instance_stage(&algos, &candidates, 0, id_floor);
+                assert!(
+                    !hard.pool.is_empty(),
+                    "theorem1-pipeline: no hard instance found for case '{}'",
+                    bundle.name
+                );
+                // Stages 3 and 4: both composites planned once.
+                let union = pipeline.union_stage(&hard.pool, nu);
+                let glued = pipeline.glued_stage_auto(&hard.pool, nu);
+                Prepared::Pipeline {
+                    constructor: bundle.constructor,
+                    decider: bundle.decider,
+                    union: union.plan,
+                    glued: glued.plan,
+                }
+            }
         }
+    }
+}
+
+/// The wrapped algorithms of the `ramsey-lift` workload, by parameter
+/// index: 0 = rank coloring (already order-invariant), 1 = id parity,
+/// 2 = id mod 3.
+fn ramsey_algorithm(index: u64) -> Box<dyn LocalAlgorithm> {
+    match index % 3 {
+        0 => Box::new(FnAlgorithm::new(1, "rank", |v: &View| {
+            Label::from_u64(v.center_rank() as u64)
+        })),
+        1 => Box::new(FnAlgorithm::new(0, "id-parity", |v: &View| {
+            Label::from_u64(v.center_id() % 2)
+        })),
+        _ => Box::new(FnAlgorithm::new(0, "id-mod-3", |v: &View| {
+            Label::from_u64(v.center_id() % 3)
+        })),
     }
 }
 
@@ -280,27 +482,86 @@ pub enum Prepared {
         /// refreshes per trial.
         decision_plan: ExecutionPlan,
     },
+    /// Glued decay: the glued composite is planned once (views, anchors,
+    /// far-from-anchors participants); a trial constructs with fresh coins
+    /// and evaluates both acceptance events.
+    Glued {
+        /// The fault-injected colorer.
+        constructor: FaultyConstructor<GlobalGreedyColoring>,
+        /// The one-sided rejecting decider.
+        decider: RejectBadBallsDecider,
+        /// The engine plan over the glued instance.
+        plan: GluedPlan,
+    },
+    /// Ramsey lift: the refined identity set is computed once per grid
+    /// point; a trial draws a fresh in-set identity assignment and checks
+    /// that the lift agrees with the wrapped algorithm.
+    Ramsey {
+        /// The (fixed) host graph.
+        graph: Graph,
+        /// The (empty) input labeling.
+        input: Labeling,
+        /// The wrapped algorithm `A`.
+        algo: Box<dyn LocalAlgorithm>,
+        /// The refined identity set `U`.
+        id_set: Vec<u64>,
+        /// Size of the universe the refinement started from.
+        universe_size: usize,
+    },
+    /// Full Theorem-1 pipeline: both composites (union and gluing, built
+    /// from the hard-instance pool of the case's deterministic family) are
+    /// planned once; a trial evaluates one construct-decide on each.
+    Pipeline {
+        /// The case's randomized constructor.
+        constructor: Box<dyn RandomizedLocalAlgorithm>,
+        /// The case's randomized decider.
+        decider: Box<dyn RandomizedDecider>,
+        /// The planned Claim-3 disjoint union.
+        union: UnionPlan,
+        /// The planned Claims-4/5 gluing.
+        glued: GluedPlan,
+    },
 }
 
 /// Reusable per-batch state for [`Prepared::run_trial_with`]: holds the
-/// decision scratch of the boosting kernel (cloned cached views whose
-/// output labels are overwritten per trial). Create one per trial batch
-/// via [`Prepared::scratch`], not per trial.
+/// decision scratches (cloned cached views whose output labels are
+/// overwritten per trial) and output buffers of the composite kernels.
+/// Create one per trial batch via [`Prepared::scratch`], not per trial.
 pub struct TrialScratch {
     decision: Option<DecisionScratch>,
+    glued: Option<(DecisionScratch, Labeling)>,
+    union: Option<(DecisionScratch, Labeling)>,
 }
 
 impl Prepared {
     /// Creates the per-batch scratch for this grid point.
     pub fn scratch(&self) -> TrialScratch {
-        TrialScratch {
-            decision: match self {
-                Prepared::Boosting { decision_plan, .. } => {
-                    Some(decision_plan.decision_scratch())
-                }
-                _ => None,
-            },
+        let mut scratch = TrialScratch {
+            decision: None,
+            glued: None,
+            union: None,
+        };
+        match self {
+            Prepared::Boosting { decision_plan, .. } => {
+                scratch.decision = Some(decision_plan.decision_scratch());
+            }
+            Prepared::Glued { plan, .. } => {
+                scratch.glued =
+                    Some((plan.plan().decision_scratch(), Labeling::empty(plan.node_count())));
+            }
+            Prepared::Pipeline { union, glued, .. } => {
+                scratch.union = Some((
+                    union.plan().decision_scratch(),
+                    Labeling::empty(union.node_count()),
+                ));
+                scratch.glued = Some((
+                    glued.plan().decision_scratch(),
+                    Labeling::empty(glued.node_count()),
+                ));
+            }
+            _ => {}
         }
+        scratch
     }
 
     /// Runs one Monte-Carlo trial; `seed` is this trial's leaf of the
@@ -388,6 +649,92 @@ impl Prepared {
                     &out,
                     seed.child(1),
                 ))
+            }
+            Prepared::Glued {
+                constructor,
+                decider,
+                plan,
+            } => {
+                let (scratch, out) = scratch.glued.get_or_insert_with(|| {
+                    (plan.plan().decision_scratch(), Labeling::empty(plan.node_count()))
+                });
+                // Construct once, then evaluate the far-from-anchors event
+                // (success) and the all-nodes acceptance (value) from the
+                // same execution: the decider's verdict at a node depends
+                // only on (trial seed, node), so the second pass reuses the
+                // same coins.
+                let far = plan.plan().accept_once(
+                    scratch,
+                    out,
+                    constructor,
+                    decider,
+                    Some(plan.participants()),
+                    seed,
+                );
+                let full = scratch.decide_randomized(decider, out, seed.child(1));
+                TrialOutcome {
+                    success: far,
+                    value: f64::from(u8::from(full)),
+                }
+            }
+            Prepared::Ramsey {
+                graph,
+                input,
+                algo,
+                id_set,
+                universe_size,
+            } => {
+                // Fresh in-set identities each trial: sample n distinct
+                // identities from the refined set, assign in node order.
+                let mut rng = seed.child(0).rng();
+                let n = graph.node_count();
+                let mut chosen: Vec<u64> =
+                    id_set.choose_multiple(&mut rng, n).copied().collect();
+                assert_eq!(chosen.len(), n, "refined identity set too small to relabel");
+                chosen.sort_unstable();
+                let ids = IdAssignment::new(chosen);
+                let inst = Instance::new(graph, input, &ids);
+                // One arena pass serves both deterministic evaluations.
+                let plan = ExecutionPlan::for_instance(&inst, algo.radius());
+                let lift = OrderInvariantLift::new(&**algo, id_set.clone());
+                let agree = plan.run(&**algo) == plan.run(&lift);
+                TrialOutcome {
+                    success: agree,
+                    value: id_set.len() as f64 / *universe_size as f64,
+                }
+            }
+            Prepared::Pipeline {
+                constructor,
+                decider,
+                union,
+                glued,
+            } => {
+                let (union_scratch, union_out) = scratch.union.get_or_insert_with(|| {
+                    (union.plan().decision_scratch(), Labeling::empty(union.node_count()))
+                });
+                let union_accept = union.plan().accept_once(
+                    union_scratch,
+                    union_out,
+                    &**constructor,
+                    &**decider,
+                    None,
+                    seed.child(0),
+                );
+                let (glued_scratch, glued_out) = scratch.glued.get_or_insert_with(|| {
+                    (glued.plan().decision_scratch(), Labeling::empty(glued.node_count()))
+                });
+                let glued_far = glued.plan().accept_once(
+                    glued_scratch,
+                    glued_out,
+                    &**constructor,
+                    &**decider,
+                    Some(glued.participants()),
+                    seed.child(1),
+                );
+                TrialOutcome {
+                    success: glued_far,
+                    value: f64::from(u8::from(union_accept)),
+                }
             }
         }
     }

@@ -11,7 +11,13 @@
 //!   relaxations, and the Theorem-1 derandomization machinery.
 //! * [`engine`] — the batched execution engine: build an `ExecutionPlan`
 //!   once per fixed instance, run `algorithm × K seeds` against cached
-//!   views with a `BatchRunner` (bit-identical to the per-trial path).
+//!   views with a `BatchRunner` (bit-identical to the per-trial path),
+//!   including composite `UnionPlan`/`GluedPlan` kernels for the
+//!   derandomization argument.
+//! * [`derand`] — the staged, engine-backed Theorem-1 pipeline
+//!   (`DerandPipeline`): ramsey lift → hard-instance search → boosted
+//!   disjoint union → connected gluing, generic over any language plus
+//!   constructor/decider pair.
 //! * [`langs`] — concrete languages and algorithms (coloring, Cole–Vishkin,
 //!   MIS, matching, AMOS, LLL, ...).
 //! * [`sweep`] — the declarative scenario-sweep engine: named grids over
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use rlnc_core as core;
+pub use rlnc_derand as derand;
 pub use rlnc_engine as engine;
 pub use rlnc_experiments as experiments;
 pub use rlnc_graph as graph;
@@ -48,7 +55,8 @@ pub use rlnc_sweep as sweep;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use rlnc_core::prelude::*;
-    pub use rlnc_engine::{BatchRunner, ExecutionPlan};
+    pub use rlnc_derand::{DerandPipeline, OneSidedLclDecider, PipelineParams};
+    pub use rlnc_engine::{BatchRunner, ExecutionPlan, GluedPlan, UnionPlan};
     pub use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
     pub use rlnc_par::{MonteCarlo, Scale, SeedSequence};
     pub use rlnc_sweep::{Registry, SweepExecutor};
@@ -68,5 +76,6 @@ mod tests {
         let instance = crate::core::config::Instance::new(&graph, &input, &ids);
         let plan = crate::engine::ExecutionPlan::for_instance(&instance, 1);
         assert_eq!(plan.node_count(), 5);
+        assert_eq!(crate::derand::PipelineCase::ALL.len(), 3);
     }
 }
