@@ -16,8 +16,22 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A bounded label: the input or output string of a single node.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Label(Vec<u8>);
+
+/// Hand-written so that [`Clone::clone_from`] reuses the destination's byte
+/// buffer (the derived impl would reallocate on every call). This is what
+/// makes the engine's per-trial output refreshes and the language layer's
+/// view-native verdict scratch allocation-free in the steady state.
+impl Clone for Label {
+    fn clone(&self) -> Self {
+        Label(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl Label {
     /// The empty label (used for "no input").
@@ -103,9 +117,23 @@ impl From<bool> for Label {
 }
 
 /// A per-node labeling: the function `x : V → {0,1}*` (or `y`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Labeling {
     labels: Vec<Label>,
+}
+
+/// Hand-written so that [`Clone::clone_from`] clones element-wise into the
+/// existing label buffers (see [`Label`]'s `clone_from`).
+impl Clone for Labeling {
+    fn clone(&self) -> Self {
+        Labeling {
+            labels: self.labels.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.labels.clone_from(&source.labels);
+    }
 }
 
 impl Labeling {
@@ -148,6 +176,20 @@ impl Labeling {
     /// Sets the label of node `v`.
     pub fn set(&mut self, v: NodeId, label: Label) {
         self.labels[v.index()] = label;
+    }
+
+    /// Copies `source` into node `v`'s slot, reusing the slot's byte buffer
+    /// (no allocation once the buffer has enough capacity).
+    pub fn copy_into(&mut self, v: NodeId, source: &Label) {
+        self.labels[v.index()].clone_from(source);
+    }
+
+    /// Resizes the labeling to cover exactly `n` nodes. New slots hold the
+    /// empty label; surviving slots keep their byte buffers, so repeated
+    /// resize-and-fill cycles (the language layer's verdict scratch) are
+    /// allocation-free in the steady state.
+    pub fn resize_to(&mut self, n: usize) {
+        self.labels.resize_with(n, Label::empty);
     }
 
     /// Iterates over `(node, label)` pairs.

@@ -32,6 +32,7 @@ pub mod decision;
 pub mod derand;
 pub mod labels;
 pub mod language;
+pub mod one_sided;
 pub mod order_invariant;
 pub mod relaxation;
 pub mod resilient;
@@ -46,6 +47,7 @@ pub use decision::{
 };
 pub use labels::{FkPromise, Label, Labeling};
 pub use language::{DistributedLanguage, FnLanguage, FnLcl, LclLanguage};
+pub use one_sided::OneSidedLclDecider;
 pub use order_invariant::OrderInvariantTable;
 pub use relaxation::{EpsilonSlack, FResilient};
 pub use resilient::ResilientDecider;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use crate::decision::{decide, decide_randomized, FnDecider, FnRandomizedDecider, LocalDecider, RandomizedDecider};
     pub use crate::labels::{FkPromise, Label, Labeling};
     pub use crate::language::{bad_ball_count, bad_nodes, DistributedLanguage, FnLanguage, FnLcl, LclLanguage};
+    pub use crate::one_sided::OneSidedLclDecider;
     pub use crate::relaxation::{EpsilonSlack, FResilient};
     pub use crate::resilient::ResilientDecider;
     pub use crate::simulator::Simulator;

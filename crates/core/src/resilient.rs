@@ -96,20 +96,11 @@ impl<L: LclLanguage> RandomizedDecider for ResilientDecider<L> {
     }
 
     fn accepts(&self, view: &View, coins: &Coins) -> bool {
-        // Rebuild a configuration restricted to the ball so the LCL
-        // predicate can be evaluated locally: an LCL predicate of radius t
-        // evaluated at the center of a radius-t view only reads data inside
-        // the view, so this is exact.
-        let local_graph = view.local_graph();
-        let input = crate::labels::Labeling::new(
-            (0..view.len()).map(|i| view.input(i).clone()).collect(),
-        );
-        let output = crate::labels::Labeling::new(
-            (0..view.len()).map(|i| view.output(i).clone()).collect(),
-        );
-        let local_io = IoConfig::new(local_graph, &input, &output);
-        let center_local = NodeId::from_index(view.center_local());
-        if !self.language.is_bad_ball(&local_io, center_local) {
+        // An LCL predicate of radius t evaluated at the center of a
+        // radius-t view only reads data inside the view, so the view-native
+        // hook is exact — and allocation-free for the languages that
+        // override it (all of `rlnc-langs`).
+        if !self.language.is_bad_view(view) {
             return true;
         }
         coins.for_center(view).random_bool(self.p)

@@ -256,6 +256,37 @@ impl View {
             .collect()
     }
 
+    /// Iterator over the local indices of the center's neighbors — the
+    /// allocation-free counterpart of [`View::center_neighbors`], for
+    /// verdict hot paths.
+    pub fn center_neighbor_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.local_graph().neighbor_ids(NodeId(0)).map(|w| w.index())
+    }
+
+    /// Copies this view's input labels into `out` (resized to the view's
+    /// length), reusing `out`'s buffers. Together with
+    /// [`View::write_outputs_to`] this is the fill step of the language
+    /// layer's reusable ball-configuration scratch.
+    pub fn write_inputs_to(&self, out: &mut crate::labels::Labeling) {
+        out.resize_to(self.len());
+        for (i, label) in self.inputs.iter().enumerate() {
+            out.copy_into(NodeId::from_index(i), label);
+        }
+    }
+
+    /// Copies this view's output labels into `out` (resized to the view's
+    /// length), reusing `out`'s buffers.
+    ///
+    /// # Panics
+    /// Panics if the view carries no outputs (a construction view).
+    pub fn write_outputs_to(&self, out: &mut crate::labels::Labeling) {
+        let outputs = self.outputs.as_ref().expect("view has no outputs");
+        out.resize_to(self.len());
+        for (i, label) in outputs.iter().enumerate() {
+            out.copy_into(NodeId::from_index(i), label);
+        }
+    }
+
     /// Rank (0-based) of the center's identity among all identities in the
     /// view — the only identity information an order-invariant algorithm
     /// may use about the center.

@@ -1,26 +1,25 @@
-//! Ready-made language / constructor / decider bundles for the pipeline.
+//! Ready-made language / constructor / decider bundles for the pipeline —
+//! sourced from the `rlnc-langs` case registry.
 //!
 //! The `theorem1-pipeline` sweep scenario runs the full four-stage argument
-//! against several concrete languages; each [`PipelineCase`] packages one
-//! such triple together with a deterministic algorithm family for the
-//! Claim-2 hard-instance search. The bundles are deliberately boxed: the
-//! sweep's grid points pick a case at runtime from their parameters, so the
-//! pipeline must be drivable through trait objects (every core trait here
-//! is object-safe and `?Sized`-accepting).
+//! against several concrete languages; each [`PipelineCase`] names one such
+//! triple and materializes it as a [`CaseBundle`] straight from
+//! [`rlnc_langs::registry::CaseRegistry`] (the bundles are bit-identical to
+//! the hand-wired ones this module used to build — same constructors,
+//! deciders, deterministic families, and parameters — so seed-0 sweep
+//! records are unchanged). The whole registry, not just these three legacy
+//! cases, is sweepable through the `language-matrix` scenario; the enum
+//! here survives as the stable three-case axis of `theorem1-pipeline`.
 
-use crate::decider::OneSidedLclDecider;
 use crate::pipeline::PipelineParams;
-use rlnc_core::algorithm::{FnAlgorithm, LocalAlgorithm, RandomizedLocalAlgorithm};
+use rlnc_core::algorithm::{LocalAlgorithm, RandomizedLocalAlgorithm};
 use rlnc_core::decision::RandomizedDecider;
-use rlnc_core::labels::Label;
 use rlnc_core::language::DistributedLanguage;
-use rlnc_core::view::View;
-use rlnc_langs::amos::{Amos, AmosGoldenDecider, BernoulliSelection};
-use rlnc_langs::coloring::ProperColoring;
-use rlnc_langs::random_coloring::RandomColoring;
-use rlnc_langs::weak_coloring::{RandomBitColoring, WeakColoring};
+pub use rlnc_langs::registry::{CaseId, CaseParams, CaseRegistry, InputKind, LanguageCase};
 
-/// The named language/algorithm pairs shipped with the pipeline.
+/// The named language/algorithm pairs shipped with the `theorem1-pipeline`
+/// scenario (the first three entries of the full
+/// [`CaseRegistry`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineCase {
     /// Proper 3-coloring, attacked through the zero-round random coloring
@@ -42,11 +41,7 @@ impl PipelineCase {
 
     /// The slug recorded in sweep records and tables.
     pub fn name(&self) -> &'static str {
-        match self {
-            PipelineCase::Coloring3 => "coloring3",
-            PipelineCase::Amos => "amos",
-            PipelineCase::WeakColoring => "weak-coloring",
-        }
+        self.case_id().name()
     }
 
     /// Case for a grid-parameter index (`index % 3`), so a sweep axis can
@@ -55,44 +50,25 @@ impl PipelineCase {
         PipelineCase::ALL[(index % PipelineCase::ALL.len() as u64) as usize]
     }
 
-    /// Materializes the case's bundle.
-    pub fn bundle(&self) -> CaseBundle {
+    /// The registry id behind this legacy case.
+    pub fn case_id(&self) -> CaseId {
         match self {
-            PipelineCase::Coloring3 => CaseBundle {
-                name: self.name(),
-                language: Box::new(ProperColoring::new(3)),
-                constructor: Box::new(RandomColoring::new(3)),
-                decider: Box::new(OneSidedLclDecider::new(ProperColoring::new(3), 0.75)),
-                det_family: constant_colorers(3),
-                params: PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 },
-            },
-            PipelineCase::Amos => CaseBundle {
-                name: self.name(),
-                language: Box::new(Amos::new()),
-                constructor: Box::new(BernoulliSelection::new(0.15)),
-                decider: Box::new(AmosGoldenDecider::new()),
-                det_family: selection_family(),
-                params: PipelineParams {
-                    r: 0.9,
-                    p: rlnc_langs::amos::GOLDEN_GUARANTEE,
-                    t: 0,
-                    t_prime: 0,
-                },
-            },
-            PipelineCase::WeakColoring => CaseBundle {
-                name: self.name(),
-                language: Box::new(WeakColoring::new()),
-                constructor: Box::new(RandomBitColoring),
-                decider: Box::new(OneSidedLclDecider::new(WeakColoring::new(), 0.75)),
-                det_family: monochrome_family(),
-                params: PipelineParams { r: 0.9, p: 0.75, t: 0, t_prime: 1 },
-            },
+            PipelineCase::Coloring3 => CaseId::Coloring3,
+            PipelineCase::Amos => CaseId::Amos,
+            PipelineCase::WeakColoring => CaseId::WeakColoring,
         }
+    }
+
+    /// Materializes the case's bundle from the registry.
+    pub fn bundle(&self) -> CaseBundle {
+        CaseBundle::from_case(self.case_id().case())
     }
 }
 
 /// One language / constructor / decider triple plus the deterministic
-/// algorithm family the Claim-2 search runs against.
+/// algorithm family the Claim-2 search runs against — a registry
+/// [`LanguageCase`] with its parameters lifted into the pipeline's
+/// [`PipelineParams`].
 pub struct CaseBundle {
     /// The case's slug.
     pub name: &'static str,
@@ -111,41 +87,24 @@ pub struct CaseBundle {
     pub params: PipelineParams,
 }
 
-/// Constant colorings `1..=colors` — each fails on any graph with an edge.
-fn constant_colorers(colors: u64) -> Vec<Box<dyn LocalAlgorithm>> {
-    (1..=colors)
-        .map(|c| {
-            Box::new(FnAlgorithm::new(1, format!("always-{c}"), move |_: &View| {
-                Label::from_u64(c)
-            })) as Box<dyn LocalAlgorithm>
-        })
-        .collect()
+impl CaseBundle {
+    /// Adapts a registry case into the pipeline's bundle shape.
+    pub fn from_case(case: LanguageCase) -> CaseBundle {
+        CaseBundle {
+            name: case.name,
+            language: case.language,
+            constructor: case.constructor,
+            decider: case.decider,
+            det_family: case.det_family,
+            params: case.params.into(),
+        }
+    }
 }
 
-/// Selection rules that each select at least two nodes on every candidate
-/// with at least four nodes (violating `amos`).
-fn selection_family() -> Vec<Box<dyn LocalAlgorithm>> {
-    vec![
-        Box::new(FnAlgorithm::new(0, "select-all", |_: &View| Label::from_bool(true))),
-        Box::new(FnAlgorithm::new(0, "select-odd-ids", |v: &View| {
-            Label::from_bool(v.center_id() % 2 == 1)
-        })),
-        Box::new(FnAlgorithm::new(0, "select-even-ids", |v: &View| {
-            Label::from_bool(v.center_id() % 2 == 0)
-        })),
-    ]
-}
-
-/// Monochrome colorings — on a connected graph every non-isolated node ends
-/// up with an all-same-color neighborhood, so weak 2-coloring fails.
-fn monochrome_family() -> Vec<Box<dyn LocalAlgorithm>> {
-    vec![
-        Box::new(FnAlgorithm::new(1, "all-zero", |_: &View| Label::from_bool(false))),
-        Box::new(FnAlgorithm::new(1, "all-one", |_: &View| Label::from_bool(true))),
-        Box::new(FnAlgorithm::new(1, "degree-parity", |v: &View| {
-            Label::from_bool(v.center_degree() % 2 == 1)
-        })),
-    ]
+impl From<LanguageCase> for CaseBundle {
+    fn from(case: LanguageCase) -> CaseBundle {
+        CaseBundle::from_case(case)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +124,26 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             PipelineCase::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 3);
+        // The legacy cases are the registry's prefix, index-aligned with
+        // the full catalog's sweep axis.
+        for (i, case) in PipelineCase::ALL.iter().enumerate() {
+            assert_eq!(case.case_id(), CaseId::from_index(i as u64));
+            assert_eq!(case.name(), CaseId::from_index(i as u64).name());
+        }
+    }
+
+    #[test]
+    fn bundles_carry_the_registry_parameters() {
+        for case in PipelineCase::ALL {
+            let bundle = case.bundle();
+            let registry_case = case.case_id().case();
+            assert_eq!(bundle.params.p, registry_case.params.p);
+            assert_eq!(bundle.params.r, registry_case.params.r);
+            assert_eq!(bundle.params.t, registry_case.params.t);
+            assert_eq!(bundle.params.t_prime, registry_case.params.t_prime);
+            assert_eq!(bundle.det_family.len(), registry_case.det_family.len());
+            assert_eq!(bundle.decider.radius(), registry_case.decider.radius());
+        }
     }
 
     #[test]

@@ -1,87 +1,23 @@
-//! The generic one-sided BPLD decider for LCL languages.
+//! The generic one-sided BPLD decider — re-exported from `rlnc-core`.
+//!
+//! [`OneSidedLclDecider`] started life in this crate; the language-registry
+//! refactor promoted it into `rlnc_core::one_sided` so that `rlnc-langs`
+//! can bundle it per case without depending on the pipeline crate. The
+//! re-export keeps every existing `rlnc_derand::OneSidedLclDecider` (and
+//! `rlnc_derand::decider::OneSidedLclDecider`) path compiling; the
+//! integration tests below pin the decider's coin-for-coin agreement with
+//! the concrete languages this crate attacks.
 
-use rand::Rng;
-use rlnc_core::algorithm::Coins;
-use rlnc_core::config::IoConfig;
-use rlnc_core::decision::RandomizedDecider;
-use rlnc_core::labels::Labeling;
-use rlnc_core::language::LclLanguage;
-use rlnc_core::view::View;
-use rlnc_graph::NodeId;
-
-/// The standard one-sided randomized decider for an arbitrary LCL language:
-/// a node whose radius-`t` ball is good always accepts; a node whose ball
-/// is bad rejects with probability `p` (and accepts with probability
-/// `1 − p`).
-///
-/// On a yes-instance every node accepts deterministically; on a no-instance
-/// with `b ≥ 1` bad balls the acceptance probability is `(1 − p)^b`. This
-/// is the decider shape Claim 3 and the gluing argument feed on, and it
-/// generalizes the coloring-specific `RejectBadBallsDecider` of the sweep
-/// workloads: for `ProperColoring` the two are coin-for-coin identical
-/// (one `random_bool(p)` draw at bad centers, none at good centers).
-#[derive(Debug, Clone, Copy)]
-pub struct OneSidedLclDecider<L> {
-    language: L,
-    p: f64,
-}
-
-impl<L: LclLanguage> OneSidedLclDecider<L> {
-    /// Builds the decider with rejection probability `p` at bad-ball
-    /// centers.
-    ///
-    /// # Panics
-    /// Panics unless `0 ≤ p ≤ 1`.
-    pub fn new(language: L, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "rejection probability must lie in [0, 1]");
-        OneSidedLclDecider { language, p }
-    }
-
-    /// The rejection probability at bad-ball centers.
-    pub fn rejection_probability(&self) -> f64 {
-        self.p
-    }
-
-    /// The underlying LCL language.
-    pub fn language(&self) -> &L {
-        &self.language
-    }
-}
-
-impl<L: LclLanguage> RandomizedDecider for OneSidedLclDecider<L> {
-    fn radius(&self) -> u32 {
-        self.language.radius()
-    }
-
-    fn accepts(&self, view: &View, coins: &Coins) -> bool {
-        // An LCL predicate of radius t evaluated at the center of a
-        // radius-t view reads only data inside the view, so rebuilding the
-        // ball as a standalone configuration is exact (same convention as
-        // `ResilientDecider`).
-        let input = Labeling::new((0..view.len()).map(|i| view.input(i).clone()).collect());
-        let output = Labeling::new((0..view.len()).map(|i| view.output(i).clone()).collect());
-        let local_io = IoConfig::new(view.local_graph(), &input, &output);
-        if !self
-            .language
-            .is_bad_ball(&local_io, NodeId::from_index(view.center_local()))
-        {
-            return true;
-        }
-        !coins.for_center(view).random_bool(self.p)
-    }
-
-    fn name(&self) -> String {
-        format!("one-sided(p={}, {})", self.p, self.language.name())
-    }
-}
+pub use rlnc_core::one_sided::OneSidedLclDecider;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlnc_core::decision::{acceptance_probability, decide_randomized};
-    use rlnc_core::labels::Label;
+    use rlnc_core::config::IoConfig;
+    use rlnc_core::decision::{acceptance_probability, decide_randomized, RandomizedDecider};
+    use rlnc_core::labels::{Label, Labeling};
     use rlnc_graph::generators::cycle;
-    use rlnc_graph::IdAssignment;
+    use rlnc_graph::{IdAssignment, NodeId};
     use rlnc_langs::coloring::ProperColoring;
     use rlnc_par::SeedSequence;
 
@@ -138,11 +74,5 @@ mod tests {
         let a = decide_randomized(&d, &io, &ids, SeedSequence::new(5));
         let b = decide_randomized(&d, &io, &ids, SeedSequence::new(5));
         assert_eq!(a, b);
-    }
-
-    #[test]
-    #[should_panic(expected = "rejection probability")]
-    fn rejects_bad_p() {
-        let _ = OneSidedLclDecider::new(ProperColoring::new(2), -0.1);
     }
 }

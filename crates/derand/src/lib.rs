@@ -34,10 +34,20 @@
 //!   estimators, which remain in `rlnc-core` as the reference
 //!   implementations.
 //! * [`OneSidedLclDecider`] supplies the standard one-sided BPLD decider
-//!   for **any** LCL language (accept good centers, reject bad centers with
-//!   probability `p`), and [`cases`] packages ready-made
-//!   language/constructor/decider bundles (3-coloring, `amos`, weak
-//!   2-coloring) for the `theorem1-pipeline` sweep scenario.
+//!   for **any** LCL language (accept good centers, reject bad centers
+//!   with probability `p`; it lives in `rlnc_core::one_sided` and verdicts
+//!   through the allocation-free `LclLanguage::is_bad_view` hook), and
+//!   [`cases`] adapts the `rlnc-langs` **case registry**
+//!   ([`rlnc_langs::registry::CaseRegistry`] — the full language catalog:
+//!   coloring, `amos`, weak coloring, MIS, matching, dominating set, LLL,
+//!   frugal coloring, Cole–Vishkin, majority) into pipeline bundles; the
+//!   legacy [`PipelineCase`] axis of the
+//!   `theorem1-pipeline` scenario is the registry's three-case prefix.
+//! * The Claim-2 search accepts a shared
+//!   [`PlanCache`](rlnc_engine::PlanCache)
+//!   ([`DerandPipeline::hard_instance_stage_cached`]), so large algorithm
+//!   families probe each candidate instance through one cached plan
+//!   instead of re-planning per `(algorithm, candidate)` pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +56,7 @@ pub mod cases;
 pub mod decider;
 pub mod pipeline;
 
-pub use cases::{CaseBundle, PipelineCase};
+pub use cases::{CaseBundle, CaseId, CaseRegistry, LanguageCase, PipelineCase};
 pub use decider::OneSidedLclDecider;
 pub use pipeline::{
     deterministic_agreement, failure_probability_with, lift_agrees_with, ramsey_stage,

@@ -34,7 +34,7 @@ use rlnc_core::derand::gluing::{anchor_candidates, anchor_count, GluingExperimen
 use rlnc_core::derand::hard_instances::HardInstance;
 use rlnc_core::derand::ramsey::{collect_templates, consistent_id_set, OrderInvariantLift};
 use rlnc_core::language::{DistributedLanguage, LclLanguage};
-use rlnc_engine::{BatchRunner, ExecutionPlan, GluedPlan, UnionPlan};
+use rlnc_engine::{BatchRunner, ExecutionPlan, GluedPlan, PlanCache, UnionPlan};
 use rlnc_graph::NodeId;
 use rlnc_par::stats::Estimate;
 
@@ -60,6 +60,19 @@ impl PipelineParams {
     /// `µ = ⌈1/(2p−1)⌉`, the Claim-4 anchor count.
     pub fn mu(&self) -> usize {
         anchor_count(self.p)
+    }
+}
+
+/// The registry's per-case knobs are the same quantities; lifting them is
+/// what lets `rlnc_langs::registry` cases drive the pipeline directly.
+impl From<rlnc_langs::registry::CaseParams> for PipelineParams {
+    fn from(params: rlnc_langs::registry::CaseParams) -> PipelineParams {
+        PipelineParams {
+            r: params.r,
+            p: params.p,
+            t: params.t,
+            t_prime: params.t_prime,
+        }
     }
 }
 
@@ -201,17 +214,61 @@ where
         !self.language.contains(&io)
     }
 
+    /// [`DerandPipeline::fails_on`] against a shared [`PlanCache`]: the
+    /// candidate's views at the algorithm's radius are planned at most once
+    /// per distinct `(graph, ids, inputs, radius)` content no matter how
+    /// many algorithms probe it. Verdicts are identical to the uncached
+    /// path.
+    pub fn fails_on_cached<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        instance: &HardInstance,
+        cache: &mut PlanCache,
+    ) -> bool {
+        let inst = instance.as_instance();
+        let plan = cache.plan_for(&inst, algo.radius());
+        let output = self.runner.run(algo, plan);
+        let io = IoConfig::from_instance(&inst, &output);
+        !self.language.contains(&io)
+    }
+
     /// Builds the Claim-2 pool: for each algorithm, the first candidate
     /// (after enforcing the running identity floor, by shifting) of
     /// diameter at least `min_diameter` on which it fails. Identity ranges
     /// come out pairwise disjoint, exactly like
-    /// `HardInstanceSearch::hard_instance_family`.
+    /// `HardInstanceSearch::hard_instance_family`. Uses a search-local
+    /// [`PlanCache`]; pass your own via
+    /// [`DerandPipeline::hard_instance_stage_cached`] to share plans across
+    /// searches (or to read the hit statistics).
     pub fn hard_instance_stage<A: LocalAlgorithm + ?Sized>(
         &self,
         algorithms: &[&A],
         candidates: &[HardInstance],
         min_diameter: u32,
         min_id: u64,
+    ) -> HardInstanceStage {
+        let mut cache = PlanCache::new();
+        self.hard_instance_stage_cached(algorithms, candidates, min_diameter, min_id, &mut cache)
+    }
+
+    /// [`DerandPipeline::hard_instance_stage`] against a caller-provided
+    /// [`PlanCache`].
+    ///
+    /// The cache is what makes large algorithm families tractable: an
+    /// algorithm that fails on *no* candidate leaves the identity floor
+    /// unchanged, so the next algorithm re-probes the exact same shifted
+    /// candidates — every one of those probes is a cache hit instead of a
+    /// fresh ball-arena pass. In the real `N = |order-invariant
+    /// algorithms|` regime, most algorithms share radii and most scans
+    /// are misses, so the amortized cost per algorithm approaches the pure
+    /// evaluation cost.
+    pub fn hard_instance_stage_cached<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algorithms: &[&A],
+        candidates: &[HardInstance],
+        min_diameter: u32,
+        min_id: u64,
+        cache: &mut PlanCache,
     ) -> HardInstanceStage {
         let mut pool = Vec::new();
         let mut missing = 0usize;
@@ -227,7 +284,7 @@ where
                 if candidate.diameter_lower_bound() < min_diameter {
                     continue;
                 }
-                if self.fails_on(*algo, &candidate) {
+                if self.fails_on_cached(*algo, &candidate, cache) {
                     found = Some(candidate);
                     break;
                 }
@@ -483,6 +540,38 @@ mod tests {
         for (ours, theirs) in stage.pool.iter().zip(&reference) {
             assert_eq!(ours.graph, theirs.graph);
             assert_eq!(ours.ids.as_slice(), theirs.ids.as_slice());
+        }
+    }
+
+    #[test]
+    fn cached_hard_instance_search_reuses_plans_across_missing_algorithms() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        // Two algorithms that never fail on even cycles (id-parity is a
+        // proper 2-coloring there) followed by one that always fails: the
+        // parity algorithms scan the whole candidate list at the same
+        // identity floor, so the second scan must be pure cache hits.
+        let p1 = FnAlgorithm::new(0, "id-parity", |v: &View| Label::from_u64(v.center_id() % 2 + 1));
+        let p2 = FnAlgorithm::new(0, "id-parity-flipped", |v: &View| {
+            Label::from_u64((v.center_id() + 1) % 2 + 1)
+        });
+        let c1 = FnAlgorithm::new(0, "always-1", |_: &View| Label::from_u64(1));
+        let algos: [&dyn LocalAlgorithm; 3] = [&p1, &p2, &c1];
+        let candidates = consecutive_cycle_candidates([8, 10, 12]);
+        let mut cache = rlnc_engine::PlanCache::new();
+        let cached = pipeline.hard_instance_stage_cached(&algos, &candidates, 0, 1, &mut cache);
+        assert_eq!(cached.missing, 2);
+        assert_eq!(cached.pool.len(), 1);
+        // First algorithm: 3 misses. Second: 3 hits. Third: 1 hit.
+        assert_eq!(cache.misses(), 3, "one plan per distinct candidate");
+        assert_eq!(cache.hits(), 4, "repeat scans must hit the cache");
+        // And the result is identical to the uncached search.
+        let uncached = pipeline.hard_instance_stage(&algos, &candidates, 0, 1);
+        assert_eq!(uncached.missing, cached.missing);
+        assert_eq!(uncached.pool.len(), cached.pool.len());
+        for (a, b) in cached.pool.iter().zip(&uncached.pool) {
+            assert_eq!(a.graph, b.graph);
+            assert_eq!(a.ids.as_slice(), b.ids.as_slice());
         }
     }
 

@@ -27,6 +27,11 @@
 //!   construct on a disjoint union or gluing of hard instances, then decide
 //!   — into plans built once per composite instance, including the
 //!   precomputed "far from every anchor" participation set of Claims 4–5.
+//! * [`PlanCache`] (mod [`cache`]) memoizes plans by a content fingerprint
+//!   of `(graph, ids, inputs, radius)`, so searches that evaluate many
+//!   algorithms against the same candidate instances (the Claim-2
+//!   hard-instance search) plan each candidate once instead of once per
+//!   `(algorithm, candidate)` pair.
 //!
 //! ## Determinism
 //!
@@ -72,10 +77,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod composite;
 pub mod plan;
 pub mod runner;
 
+pub use cache::PlanCache;
 pub use composite::{ConstructDecidePlan, GluedPlan, UnionPlan};
 pub use plan::{DecisionScratch, ExecutionPlan};
 pub use runner::BatchRunner;

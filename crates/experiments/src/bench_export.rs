@@ -33,6 +33,24 @@
 //!   per-anchor BFS + per-node view collection) vs the
 //!   [`GluedPlan`](rlnc_engine::GluedPlan) kernel with its precomputed
 //!   participation set.
+//!
+//! The `langs` groups (new with the language-registry refactor) measure
+//! per-case verdict throughput for every LCL case in
+//! [`CaseRegistry`](rlnc_langs::registry::CaseRegistry):
+//!
+//! * `lcl-verdicts-<case>` — the decider hot kernel on a fixed constructed
+//!   configuration: legacy = rebuild the ball as a standalone `IoConfig`
+//!   (two fresh label vectors) per verdict, exactly what the pre-refactor
+//!   generic deciders did; engine = the view-native
+//!   [`LclLanguage::is_bad_view`] hook. Verdict parity is asserted on the
+//!   way. With the `count-alloc` feature, each side's allocation count per
+//!   pass is recorded and the engine side is **asserted to be zero** — the
+//!   acceptance criterion of the refactor — and the export carries a
+//!   peak-live-bytes proxy so memory regressions show up in the
+//!   trajectory. (Counting adds a few atomics per allocation, so wall
+//!   times from a `count-alloc` build slightly overstate the cost of
+//!   allocation-heavy paths; exports record whether the columns are
+//!   present, and CI times its quick export without the feature.)
 
 use rlnc_core::decision::acceptance_probability;
 use rlnc_core::derand::boosting::disjoint_union_acceptance;
@@ -55,7 +73,7 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct BenchGroup {
     /// Group name (stable across PRs, so trajectories can be joined).
-    pub name: &'static str,
+    pub name: String,
     /// Instance size.
     pub n: usize,
     /// Trials (or repetitions) measured per pass.
@@ -64,6 +82,10 @@ pub struct BenchGroup {
     pub legacy_ns: u128,
     /// Best-of-N wall-clock nanoseconds for the engine path.
     pub engine_ns: u128,
+    /// Allocation events of one legacy pass (present with `count-alloc`).
+    pub legacy_allocs: Option<u64>,
+    /// Allocation events of one engine pass (present with `count-alloc`).
+    pub engine_allocs: Option<u64>,
 }
 
 impl BenchGroup {
@@ -80,6 +102,25 @@ pub struct BenchExport {
     pub quick: bool,
     /// The measurements.
     pub groups: Vec<BenchGroup>,
+    /// Peak live heap bytes observed across the run (present with
+    /// `count-alloc`) — the memory-regression proxy of the trajectory.
+    pub peak_alloc_bytes: Option<u64>,
+}
+
+/// Allocation events of one `f()` call when the counting allocator is
+/// compiled in; `None` otherwise.
+fn count_allocs<F: FnMut()>(mut f: F) -> Option<u64> {
+    #[cfg(feature = "count-alloc")]
+    {
+        let before = crate::alloc_counter::allocations();
+        f();
+        return Some(crate::alloc_counter::allocations() - before);
+    }
+    #[allow(unreachable_code)]
+    {
+        let _ = &mut f;
+        None
+    }
 }
 
 /// Best-of-`reps` wall time of `f`, with one untimed warm-up pass.
@@ -116,11 +157,13 @@ fn ring_monte_carlo(quick: bool) -> BenchGroup {
         assert!(est.p_hat >= 0.0);
     });
     BenchGroup {
-        name: "ring-monte-carlo",
+        name: "ring-monte-carlo".into(),
         n,
         trials,
         legacy_ns,
         engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
     }
 }
 
@@ -144,11 +187,13 @@ fn resilient_decider(quick: bool) -> BenchGroup {
         assert!(est.p_hat >= 0.0);
     });
     BenchGroup {
-        name: "resilient-decider",
+        name: "resilient-decider".into(),
         n,
         trials,
         legacy_ns,
         engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
     }
 }
 
@@ -167,11 +212,13 @@ fn ball_extraction(quick: bool) -> BenchGroup {
         assert_eq!(arena.total_members(), n * (2 * radius as usize + 1));
     });
     BenchGroup {
-        name: "ball-extraction-r8",
+        name: "ball-extraction-r8".into(),
         n,
         trials: 1,
         legacy_ns,
         engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
     }
 }
 
@@ -203,11 +250,13 @@ fn boosted_union_acceptance(quick: bool) -> BenchGroup {
         "union kernel must be bit-identical to the legacy estimator"
     );
     BenchGroup {
-        name: "boosted-union-acceptance",
+        name: "boosted-union-acceptance".into(),
         n: cycle_size * nu,
         trials,
         legacy_ns,
         engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
     }
 }
 
@@ -248,30 +297,141 @@ fn glued_acceptance(quick: bool) -> BenchGroup {
         "glued kernel must be bit-identical to the legacy estimator"
     );
     BenchGroup {
-        name: "glued-acceptance",
+        name: "glued-acceptance".into(),
         n: cycle_size * nu + 2 * nu,
         trials,
         legacy_ns,
         engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
     }
+}
+
+/// One `lcl-verdicts-<case>` group: view-native vs `IoConfig`-rebuild
+/// verdict throughput for an LCL case's language on a fixed constructed
+/// configuration, with bit-identical verdict counts asserted.
+fn lcl_verdict_group(
+    case: &rlnc_langs::registry::LanguageCase,
+    quick: bool,
+) -> Option<BenchGroup> {
+    let lcl = case.lcl.as_ref()?;
+    let (n, passes, reps) = if quick { (96usize, 50u64, 3) } else { (192, 300u64, 5) };
+    let family = case.candidate_family(rlnc_graph::generators::Family::Cycle);
+    let mut rng = rlnc_par::SeedSequence::new(13).rng();
+    let graph = family.generate(n, &mut rng);
+    let ids = IdAssignment::consecutive(&graph);
+    let input = case.build_input(&graph, &ids);
+    let instance = Instance::new(&graph, &input, &ids);
+    // One constructed output at a fixed seed, then the decision views the
+    // generic deciders would verdict on.
+    let out = Simulator::sequential().run_randomized(
+        &*case.constructor,
+        &instance,
+        rlnc_par::SeedSequence::new(0).child(0),
+    );
+    let io = IoConfig::new(&graph, &input, &out);
+    let views = View::collect_all_io(&io, &ids, lcl.radius());
+
+    // Legacy: the pre-refactor decider body — rebuild the ball as a
+    // standalone configuration (two fresh label vectors) per verdict.
+    let legacy_pass = || {
+        let mut bad = 0usize;
+        for view in &views {
+            let local_input =
+                Labeling::new((0..view.len()).map(|i| view.input(i).clone()).collect());
+            let local_output =
+                Labeling::new((0..view.len()).map(|i| view.output(i).clone()).collect());
+            let local_io = IoConfig::new(view.local_graph(), &local_input, &local_output);
+            bad += usize::from(
+                lcl.is_bad_ball(&local_io, NodeId::from_index(view.center_local())),
+            );
+        }
+        bad
+    };
+    let engine_pass = || {
+        let mut bad = 0usize;
+        for view in &views {
+            bad += usize::from(lcl.is_bad_view(view));
+        }
+        bad
+    };
+    assert_eq!(
+        legacy_pass(),
+        engine_pass(),
+        "case '{}': view-native verdicts must match the IoConfig path",
+        case.name
+    );
+    let legacy_ns = best_of(reps, || {
+        let mut total = 0usize;
+        for _ in 0..passes {
+            total += legacy_pass();
+        }
+        assert!(total < usize::MAX);
+    });
+    let engine_ns = best_of(reps, || {
+        let mut total = 0usize;
+        for _ in 0..passes {
+            total += engine_pass();
+        }
+        assert!(total < usize::MAX);
+    });
+    let legacy_allocs = count_allocs(|| {
+        let _ = legacy_pass();
+    });
+    let engine_allocs = count_allocs(|| {
+        let _ = engine_pass();
+    });
+    if let Some(allocs) = engine_allocs {
+        assert_eq!(
+            allocs, 0,
+            "case '{}': view-native verdicts must perform zero heap allocations",
+            case.name
+        );
+    }
+    Some(BenchGroup {
+        name: format!("lcl-verdicts-{}", case.name),
+        n,
+        trials: passes,
+        legacy_ns,
+        engine_ns,
+        legacy_allocs,
+        engine_allocs,
+    })
+}
+
+/// The `langs` groups: one per LCL case in the registry.
+fn lcl_verdict_groups(quick: bool) -> Vec<BenchGroup> {
+    rlnc_langs::registry::CaseRegistry::builtin()
+        .iter()
+        .filter_map(|case| lcl_verdict_group(&case, quick))
+        .collect()
 }
 
 /// Runs all engine-vs-legacy measurements.
 pub fn run(quick: bool) -> BenchExport {
+    let mut groups = vec![
+        ring_monte_carlo(quick),
+        resilient_decider(quick),
+        ball_extraction(quick),
+        boosted_union_acceptance(quick),
+        glued_acceptance(quick),
+    ];
+    groups.extend(lcl_verdict_groups(quick));
+    #[cfg(feature = "count-alloc")]
+    let peak_alloc_bytes = Some(crate::alloc_counter::peak_bytes() as u64);
+    #[cfg(not(feature = "count-alloc"))]
+    let peak_alloc_bytes = None;
     BenchExport {
         quick,
-        groups: vec![
-            ring_monte_carlo(quick),
-            resilient_decider(quick),
-            ball_extraction(quick),
-            boosted_union_acceptance(quick),
-            glued_acceptance(quick),
-        ],
+        groups,
+        peak_alloc_bytes,
     }
 }
 
 /// Serializes an export as deterministic-schema JSON (hand-rolled; the
 /// vendored serde is a no-op stub — same convention as `rlnc-sweep::emit`).
+/// Allocation fields appear only when the export was produced with the
+/// `count-alloc` feature.
 pub fn to_json(export: &BenchExport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -281,12 +441,19 @@ pub fn to_json(export: &BenchExport) -> String {
         "  \"mode\": \"{}\",\n",
         if export.quick { "quick" } else { "full" }
     ));
+    if let Some(peak) = export.peak_alloc_bytes {
+        out.push_str(&format!("  \"peak_alloc_bytes\": {peak},\n"));
+    }
     out.push_str("  \"groups\": [\n");
     for (i, g) in export.groups.iter().enumerate() {
+        let allocs = match (g.legacy_allocs, g.engine_allocs) {
+            (Some(l), Some(e)) => format!(",\"legacy_allocs\":{l},\"engine_allocs\":{e}"),
+            _ => String::new(),
+        };
         out.push_str(&format!(
             concat!(
                 "    {{\"name\":\"{}\",\"n\":{},\"trials\":{},",
-                "\"legacy_ns\":{},\"engine_ns\":{},\"speedup\":{:.2}}}{}\n"
+                "\"legacy_ns\":{},\"engine_ns\":{},\"speedup\":{:.2}{}}}{}\n"
             ),
             g.name,
             g.n,
@@ -294,6 +461,7 @@ pub fn to_json(export: &BenchExport) -> String {
             g.legacy_ns,
             g.engine_ns,
             g.speedup(),
+            allocs,
             if i + 1 < export.groups.len() { "," } else { "" }
         ));
     }
@@ -309,14 +477,22 @@ pub fn to_summary(export: &BenchExport) -> String {
         if export.quick { "quick" } else { "full" }
     ));
     for g in &export.groups {
+        let allocs = match (g.legacy_allocs, g.engine_allocs) {
+            (Some(l), Some(e)) => format!("  allocs {l} -> {e}"),
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "  {:<20} n={:<6} legacy {:>12} ns  engine {:>12} ns  speedup {:>6.2}x\n",
+            "  {:<28} n={:<6} legacy {:>12} ns  engine {:>12} ns  speedup {:>6.2}x{}\n",
             g.name,
             g.n,
             g.legacy_ns,
             g.engine_ns,
-            g.speedup()
+            g.speedup(),
+            allocs
         ));
+    }
+    if let Some(peak) = export.peak_alloc_bytes {
+        out.push_str(&format!("  peak live heap: {peak} bytes\n"));
     }
     out
 }
@@ -328,7 +504,12 @@ mod tests {
     #[test]
     fn quick_export_measures_and_serializes() {
         let export = run(true);
-        assert_eq!(export.groups.len(), 5);
+        // 5 engine groups plus one lcl-verdicts group per LCL case.
+        let lcl_cases = rlnc_langs::registry::CaseRegistry::builtin()
+            .iter()
+            .filter(|c| c.lcl.is_some())
+            .count();
+        assert_eq!(export.groups.len(), 5 + lcl_cases);
         for group in &export.groups {
             assert!(group.legacy_ns > 0 && group.engine_ns > 0);
             assert!(group.speedup() > 0.0);
@@ -339,8 +520,15 @@ mod tests {
         assert!(json.contains("ring-monte-carlo"));
         assert!(json.contains("boosted-union-acceptance"));
         assert!(json.contains("glued-acceptance"));
+        assert!(json.contains("lcl-verdicts-coloring3"));
+        assert!(json.contains("lcl-verdicts-matching"));
         assert!(json.ends_with("}\n"));
         let summary = to_summary(&export);
         assert!(summary.contains("speedup"));
+        assert!(summary.contains("lcl-verdicts-min-dominating-set"));
+        // Alloc fields appear exactly when the counting allocator is in.
+        let counted = cfg!(feature = "count-alloc");
+        assert_eq!(json.contains("legacy_allocs"), counted);
+        assert_eq!(export.peak_alloc_bytes.is_some(), counted);
     }
 }

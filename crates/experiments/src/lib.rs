@@ -23,9 +23,14 @@
 //! table plus a list of [`Finding`]s (paper claim vs measured value), which
 //! the `rlnc-experiments` binary assembles into `EXPERIMENTS.md`.
 
-#![forbid(unsafe_code)]
+// The counting allocator needs one `unsafe impl GlobalAlloc`; everything
+// else stays forbidden-unsafe, and without the feature the whole crate is.
+#![cfg_attr(not(feature = "count-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc_counter;
 pub mod bench_export;
 pub mod e01_amos;
 pub mod e02_slack;

@@ -244,8 +244,12 @@ fn sweep_main(args: &[String]) {
             }
             "--resume" => resume = true,
             "--list-scenarios" => {
+                // Name + description, then the workload/axis metadata line,
+                // so new scenarios are discoverable without reading
+                // registry.rs.
                 for spec in registry.iter() {
                     println!("{:<20}  {}", spec.name, spec.description);
+                    println!("{:<20}  {}", "", spec.summary());
                 }
                 return;
             }

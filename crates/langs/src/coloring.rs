@@ -52,6 +52,14 @@ impl LclLanguage for ProperColoring {
         io.graph.neighbor_ids(v).any(|w| io.output.get(w) == mine)
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let mine = view.output(view.center_local());
+        if !self.in_range(mine) {
+            return true;
+        }
+        view.center_neighbor_indices().any(|i| view.output(i) == mine)
+    }
+
     fn name(&self) -> String {
         format!("{}-coloring", self.colors)
     }
@@ -82,7 +90,7 @@ impl LocalDecider for ColoringDecider {
         if c < 1 || c > self.colors {
             return false;
         }
-        view.center_neighbors().iter().all(|&i| view.output(i) != mine)
+        view.center_neighbor_indices().all(|i| view.output(i) != mine)
     }
 
     fn name(&self) -> String {

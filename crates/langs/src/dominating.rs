@@ -43,6 +43,13 @@ impl LclLanguage for DominatingSet {
         !Self::is_dominated(io, v)
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        !(view.output(view.center_local()).as_bool()
+            || view
+                .center_neighbor_indices()
+                .any(|i| view.output(i).as_bool()))
+    }
+
     fn name(&self) -> String {
         "dominating-set".to_string()
     }
@@ -91,6 +98,35 @@ impl LclLanguage for MinimalDominatingSet {
             return true;
         }
         io.output.get(v).as_bool() && !Self::has_private_node(io, v)
+    }
+
+    fn is_bad_view(&self, view: &View) -> bool {
+        // All reads stay within distance 2 of the center (the private-node
+        // check looks at dominator counts of the center's neighbors, whose
+        // neighbors are inside a radius-2 view).
+        let graph = view.local_graph();
+        let in_set = |u: usize| view.output(u).as_bool();
+        let dominator_count = |u: usize| {
+            usize::from(in_set(u))
+                + graph
+                    .neighbor_ids(NodeId::from_index(u))
+                    .filter(|w| in_set(w.index()))
+                    .count()
+        };
+        let center = view.center_local();
+        if dominator_count(center) == 0 {
+            return true; // not dominated
+        }
+        if !in_set(center) {
+            return false;
+        }
+        // Membership without a private node violates minimality.
+        if dominator_count(center) == 1 {
+            return false; // the center is its own private node
+        }
+        !view
+            .center_neighbor_indices()
+            .any(|u| dominator_count(u) == 1)
     }
 
     fn name(&self) -> String {

@@ -63,6 +63,29 @@ impl LclLanguage for FrugalColoring {
         Self::neighborhood_multiplicity(io, v) > self.frugality
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let center = view.center_local();
+        let mine = view.output(center);
+        let c = mine.as_u64();
+        if c < 1 || c > self.colors {
+            return true;
+        }
+        if view.center_neighbor_indices().any(|i| view.output(i) == mine) {
+            return true;
+        }
+        // Neighborhood multiplicity without the hash map: O(deg²) pairwise
+        // counting over the (bounded-degree) neighborhood, allocation-free.
+        // Colors are compared by decoded value (`as_u64`), matching
+        // `neighborhood_multiplicity`'s grouping key — byte equality would
+        // diverge on non-canonical encodings of the same color.
+        view.center_neighbor_indices().any(|i| {
+            view.center_neighbor_indices()
+                .filter(|&j| view.output(j).as_u64() == view.output(i).as_u64())
+                .count()
+                > self.frugality
+        })
+    }
+
     fn name(&self) -> String {
         format!("{}-frugal-{}-coloring", self.frugality, self.colors)
     }
@@ -90,6 +113,37 @@ mod tests {
         });
         let io = IoConfig::new(&g, &x, &spread);
         assert!(FrugalColoring::new(6, 2).contains(&io));
+    }
+
+    #[test]
+    fn view_native_verdict_groups_colors_by_decoded_value() {
+        use rlnc_core::view::View;
+        use rlnc_graph::IdAssignment;
+        // Two leaves carry the same color 2 under different byte encodings
+        // ([2] vs [0, 2]); the multiplicity count must still see one color
+        // class of size 2 on both verdict paths.
+        let g = star(3);
+        let x = Labeling::empty(3);
+        let mut y = Labeling::new(vec![
+            Label::from_u64(1),
+            Label::from_u64(2),
+            Label::from_bytes(vec![0u8, 2]),
+        ]);
+        let lang = FrugalColoring::new(3, 1);
+        let ids = IdAssignment::consecutive(&g);
+        let center = rlnc_graph::NodeId(0);
+        {
+            let io = IoConfig::new(&g, &x, &y);
+            assert!(lang.is_bad_ball(&io, center), "multiplicity 2 > frugality 1");
+            let view = View::collect_io(&io, &ids, center, 1);
+            assert_eq!(lang.is_bad_view(&view), lang.is_bad_ball(&io, center));
+        }
+        // Distinct decoded colors: good on both paths.
+        y.set(rlnc_graph::NodeId(2), Label::from_u64(3));
+        let io = IoConfig::new(&g, &x, &y);
+        assert!(!lang.is_bad_ball(&io, center));
+        let view = View::collect_io(&io, &ids, center, 1);
+        assert!(!lang.is_bad_view(&view));
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`faulty`] — fault-injection wrappers used to realize constructors
 //!   with a prescribed failure probability β for the derandomization
 //!   experiments.
+//! * [`registry`] — the language-case registry: every language above as an
+//!   enumerable `(language, constructor, decider)` bundle
+//!   ([`CaseRegistry`]), the sweep engine's `language-matrix` axis and the
+//!   derandomization pipeline's case source.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +48,7 @@ pub mod majority;
 pub mod matching;
 pub mod mis;
 pub mod random_coloring;
+pub mod registry;
 pub mod weak_coloring;
 
 pub use amos::{Amos, AmosGoldenDecider, BernoulliSelection, GOLDEN_GUARANTEE};
@@ -53,8 +58,9 @@ pub use dominating::{DominatingSet, MinIdPointerDominatingSet, MinimalDominating
 pub use faulty::{CorruptLowestIds, FaultyConstructor};
 pub use frugal::FrugalColoring;
 pub use lll::{NeighborhoodLll, ResamplingLll};
-pub use majority::{AllSelected, Majority};
-pub use matching::{MaximalMatching, RandomizedMatching};
-pub use mis::{LubyMis, MaximalIndependentSet};
+pub use majority::{AllSelected, Majority, OneSidedLocalMajorityDecider};
+pub use matching::{MaximalMatching, ProposalMatching, RandomizedMatching};
+pub use mis::{LocalMinimumMis, LubyMis, MaximalIndependentSet};
 pub use random_coloring::RandomColoring;
+pub use registry::{CaseId, CaseParams, CaseRegistry, InputKind, LanguageCase};
 pub use weak_coloring::{LocalMinimumMarking, WeakColoring};

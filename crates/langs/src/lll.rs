@@ -52,6 +52,19 @@ impl LclLanguage for NeighborhoodLll {
         Self::bad_event(io, v)
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let mine = view.output(view.center_local());
+        let mut any = false;
+        for i in view.center_neighbor_indices() {
+            any = true;
+            if view.output(i) != mine {
+                return false;
+            }
+        }
+        // Degree-0 centers (no neighbor in a radius ≥ 1 ball) are never bad.
+        any
+    }
+
     fn name(&self) -> String {
         "neighborhood-lll".to_string()
     }

@@ -9,6 +9,7 @@
 //! time.
 
 use rlnc_core::prelude::*;
+use rand::Rng;
 
 /// The `majority` distributed language.
 #[derive(Debug, Clone, Copy, Default)]
@@ -86,6 +87,55 @@ impl LocalDecider for LocalMajorityDecider {
     }
 }
 
+/// The one-sided randomized decider built on the doomed local-majority
+/// proxy: a node whose radius-`t` view is at least half selected accepts;
+/// otherwise it rejects with probability `p`. `majority` is not in BPLD —
+/// no local decider has a real guarantee — but the pipeline's boosting and
+/// gluing stages only need *a* randomized decider whose acceptance decays
+/// with the number of under-selected regions, which this one supplies (and
+/// its local-proxy errors are exactly the phenomenon
+/// [`LocalMajorityDecider`] exhibits deterministically).
+#[derive(Debug, Clone, Copy)]
+pub struct OneSidedLocalMajorityDecider {
+    radius: u32,
+    p: f64,
+}
+
+impl OneSidedLocalMajorityDecider {
+    /// The decider over radius-`radius` views with rejection probability
+    /// `p` at under-selected centers.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn new(radius: u32, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rejection probability must lie in [0, 1]");
+        OneSidedLocalMajorityDecider { radius, p }
+    }
+
+    /// The rejection probability at under-selected centers.
+    pub fn rejection_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl RandomizedDecider for OneSidedLocalMajorityDecider {
+    fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    fn accepts(&self, view: &View, coins: &Coins) -> bool {
+        let selected = (0..view.len()).filter(|&i| view.output(i).as_bool()).count();
+        if 2 * selected >= view.len() {
+            return true;
+        }
+        !coins.for_center(view).random_bool(self.p)
+    }
+
+    fn name(&self) -> String {
+        format!("one-sided-local-majority(t={}, p={})", self.radius, self.p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +163,31 @@ mod tests {
         let inst = Instance::new(&g, &x, &ids);
         let out = Simulator::new().run(&AllSelected, &inst);
         assert!(Majority::new().contains(&IoConfig::new(&g, &x, &out)));
+    }
+
+    #[test]
+    fn one_sided_local_majority_decider_is_one_sided() {
+        use rlnc_core::decision::{acceptance_probability, decide_randomized};
+        use rlnc_par::SeedSequence;
+        let g = cycle(8);
+        let x = Labeling::empty(8);
+        let ids = IdAssignment::consecutive(&g);
+        let decider = OneSidedLocalMajorityDecider::new(1, 0.75);
+        assert_eq!(RandomizedDecider::radius(&decider), 1);
+        assert_eq!(decider.rejection_probability(), 0.75);
+        // All selected: every view is majority-selected, deterministic accept.
+        let all = Labeling::from_fn(&g, |_| Label::from_bool(true));
+        let io = IoConfig::new(&g, &x, &all);
+        for t in 0..8 {
+            assert!(decide_randomized(&decider, &io, &ids, SeedSequence::new(t)));
+        }
+        // None selected: every center is under-selected, acceptance
+        // ≈ (1 − p)^n — far below 1/2, the decay the pipeline feeds on.
+        let none = Labeling::from_fn(&g, |_| Label::from_bool(false));
+        let io = IoConfig::new(&g, &x, &none);
+        let est = acceptance_probability(&decider, &io, &ids, 4000, 7);
+        let expected = 0.25f64.powi(8);
+        assert!((est.p_hat - expected).abs() < 0.02);
     }
 
     #[test]

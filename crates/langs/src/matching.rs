@@ -68,6 +68,30 @@ impl LclLanguage for MaximalMatching {
         matching_bad_ball(io, |w| io.input.get(w).as_u64(), v)
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let center = view.center_local();
+        let claim = view.output(center).as_u64();
+        if claim == 0 {
+            // Maximality: no neighbor may also be unmatched.
+            return view
+                .center_neighbor_indices()
+                .any(|i| view.output(i).as_u64() == 0);
+        }
+        // The claimed partner must be a neighbor that claims us back
+        // (names are the input labels, as in `is_bad_ball`).
+        let mut partner = None;
+        for i in view.center_neighbor_indices() {
+            if view.input(i).as_u64() == claim {
+                partner = Some(i);
+                break;
+            }
+        }
+        match partner {
+            None => true,
+            Some(i) => view.output(i).as_u64() != view.input(center).as_u64(),
+        }
+    }
+
     fn name(&self) -> String {
         "maximal-matching".to_string()
     }
@@ -206,6 +230,67 @@ impl RandomizedLocalAlgorithm for RandomizedMatching {
     }
 }
 
+/// A one-phase randomized proposal matching whose claims reference the
+/// language's *input names* (each node's input is its name, see
+/// [`identity_inputs`]) rather than raw identities. This keeps the output
+/// meaningful under the identity shifts the Claim-2 hard-instance search
+/// applies: shifting relabels identities but preserves inputs, so the
+/// language still resolves every claim.
+///
+/// Every undecided node proposes to a uniformly random neighbor; exactly
+/// the *mutual* proposals become matches. One phase rarely reaches
+/// maximality — which is precisely the positive failure probability β the
+/// derandomization pipeline's Claim-2/Claim-3 stages need from a concrete
+/// randomized constructor. Evaluating a neighbor's proposal needs that
+/// neighbor's full adjacency, hence radius 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProposalMatching;
+
+impl ProposalMatching {
+    /// Creates the constructor.
+    pub fn new() -> Self {
+        ProposalMatching
+    }
+
+    /// The proposal of the node at local index `i`: a uniformly random
+    /// neighbor, drawn from `i`'s private coins over the candidate list in
+    /// canonical `(name, identity)` order — so every simulating node that
+    /// can see `i`'s full neighborhood computes the same proposal.
+    fn proposal(view: &View, coins: &Coins, i: usize) -> Option<usize> {
+        let graph = view.local_graph();
+        let mut candidates: Vec<usize> = graph
+            .neighbor_ids(NodeId::from_index(i))
+            .map(|w| w.index())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_by_key(|&w| (view.input(w).as_u64(), view.id(w)));
+        let mut rng = coins.for_view_node(view, i);
+        Some(candidates[rng.random_range(0..candidates.len())])
+    }
+}
+
+impl RandomizedLocalAlgorithm for ProposalMatching {
+    fn radius(&self) -> u32 {
+        2
+    }
+
+    fn output(&self, view: &View, coins: &Coins) -> Label {
+        let center = view.center_local();
+        if let Some(target) = Self::proposal(view, coins, center) {
+            if Self::proposal(view, coins, target) == Some(center) {
+                return Label::from_u64(view.input(target).as_u64());
+            }
+        }
+        Label::from_u64(0)
+    }
+
+    fn name(&self) -> String {
+        "proposal-matching".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +352,43 @@ mod tests {
                 g.node_count(),
                 algo.phases()
             );
+        }
+    }
+
+    #[test]
+    fn proposal_matching_outputs_are_reciprocal_and_shift_invariant() {
+        let (g, x, ids) = matching_instance(cycle(14));
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = ProposalMatching::new();
+        let lang = MaximalMatching::new();
+        for trial in 0..12u64 {
+            let seed = SeedSequence::new(4).child(trial);
+            let out = Simulator::sequential().run_randomized(&algo, &inst, seed);
+            let io = IoConfig::new(&g, &x, &out);
+            // Every non-zero claim must be reciprocated (the only bad balls
+            // a mutual-proposal matching can leave are maximality ones).
+            for v in g.nodes() {
+                let claim = out.get(v).as_u64();
+                if claim == 0 {
+                    continue;
+                }
+                let partner = g
+                    .neighbor_ids(v)
+                    .find(|&w| x.get(w).as_u64() == claim)
+                    .expect("claims resolve to a neighbor name");
+                assert_eq!(out.get(partner).as_u64(), x.get(v).as_u64());
+            }
+            // Claims reference input names, so shifting the identities (as
+            // the Claim-2 search does) preserves the verdict of every ball.
+            let shifted = IdAssignment::new(ids.as_slice().iter().map(|&i| i + 500).collect());
+            let bad_before = rlnc_core::language::bad_ball_count(&lang, &io);
+            let shifted_out =
+                Simulator::sequential().run_randomized(&algo, &Instance::new(&g, &x, &shifted), seed);
+            let bad_after = rlnc_core::language::bad_ball_count(
+                &lang,
+                &IoConfig::new(&g, &x, &shifted_out),
+            );
+            assert_eq!(bad_before, bad_after, "trial {trial}");
         }
     }
 

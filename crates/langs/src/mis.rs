@@ -43,6 +43,18 @@ impl LclLanguage for MaximalIndependentSet {
         }
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let in_set = view.output(view.center_local()).as_bool();
+        let neighbor_in_set = view
+            .center_neighbor_indices()
+            .any(|i| view.output(i).as_bool());
+        if in_set {
+            neighbor_in_set
+        } else {
+            !neighbor_in_set
+        }
+    }
+
     fn name(&self) -> String {
         "maximal-independent-set".to_string()
     }

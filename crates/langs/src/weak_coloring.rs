@@ -45,6 +45,20 @@ impl LclLanguage for WeakColoring {
         io.graph.neighbor_ids(v).all(|w| io.output.get(w) == mine)
     }
 
+    fn is_bad_view(&self, view: &View) -> bool {
+        let center = view.center_local();
+        let mine = view.output(center);
+        let mut any = false;
+        for i in view.center_neighbor_indices() {
+            any = true;
+            if view.output(i) != mine {
+                return false;
+            }
+        }
+        // No neighbor in the ball: isolated (at radius ≥ 1), never bad.
+        any
+    }
+
     fn name(&self) -> String {
         "weak-2-coloring".to_string()
     }

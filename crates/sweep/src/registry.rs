@@ -69,6 +69,7 @@ impl Registry {
         registry.insert(glued_decay_spec(6));
         registry.insert(ramsey_lift_spec());
         registry.insert(theorem1_pipeline_spec());
+        registry.insert(language_matrix_spec());
         registry
     }
 
@@ -196,6 +197,33 @@ pub fn theorem1_pipeline_spec() -> ScenarioSpec {
     }
 }
 
+/// The full-catalog scenario: every case registered in
+/// [`rlnc_langs::registry::CaseRegistry`] — coloring, `amos`, weak
+/// coloring, MIS, matching, dominating set, LLL, frugal coloring,
+/// Cole–Vishkin, majority — through the four-stage Theorem-1 pipeline,
+/// across connected regular families and a ν grid. The case is the
+/// `params.b` axis ([`rlnc_langs::registry::CaseId::from_index`]); `params.a`
+/// is ν.
+pub fn language_matrix_spec() -> ScenarioSpec {
+    let registry = rlnc_langs::registry::CaseRegistry::builtin();
+    ScenarioSpec {
+        name: "language-matrix".into(),
+        description: format!(
+            "the whole language catalog through the Theorem-1 pipeline: {} registered cases ({}) × families × ν",
+            registry.len(),
+            registry.names().join(", ")
+        ),
+        families: vec![Family::Cycle, Family::Circulant2, Family::Prism],
+        sizes: vec![16],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (0..registry.len() as u64)
+            .flat_map(|case| [2u64, 4].iter().map(move |&nu| Params::two(nu, case)))
+            .collect(),
+        base_trials: 160,
+        workload: Workload::LanguagePipeline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,8 +292,49 @@ mod tests {
     #[test]
     fn derand_scenarios_are_registered() {
         let registry = Registry::builtin();
-        for name in ["glued-decay", "ramsey-lift", "theorem1-pipeline"] {
+        for name in ["glued-decay", "ramsey-lift", "theorem1-pipeline", "language-matrix"] {
             assert!(registry.get(name).is_some(), "{name} missing from the registry");
+        }
+    }
+
+    #[test]
+    fn language_matrix_covers_every_registered_case() {
+        let spec = language_matrix_spec();
+        assert!(spec.validate().is_ok());
+        let case_registry = rlnc_langs::registry::CaseRegistry::builtin();
+        let cases: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.b).collect();
+        assert_eq!(
+            cases.len(),
+            case_registry.len(),
+            "every registered language case must appear on the sweep axis"
+        );
+        for name in case_registry.names() {
+            assert!(
+                spec.description.contains(name),
+                "description must surface case '{name}'"
+            );
+        }
+        let nus: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.a).collect();
+        assert!(nus.len() >= 2, "the ν axis must be a real grid");
+    }
+
+    #[test]
+    fn language_matrix_smoke_grid_runs_the_non_legacy_cases() {
+        // The legacy prefix is pinned elsewhere (bit-identity with
+        // theorem1-pipeline); here the new catalog entries run end to end
+        // through real grid points.
+        let spec = language_matrix_spec();
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        for case in 3..rlnc_langs::registry::CaseRegistry::builtin().len() as u64 {
+            let point = grid
+                .iter()
+                .find(|p| p.params.b == case)
+                .expect("a grid point per case");
+            let prepared = spec
+                .workload
+                .prepare(point, rlnc_par::SeedSequence::new(11).child(point.index));
+            let outcome = prepared.run_trial(rlnc_par::SeedSequence::new(11).child(1).child(0));
+            assert!((0.0..=1.0).contains(&outcome.value), "case {case}");
         }
     }
 

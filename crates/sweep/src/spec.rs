@@ -170,6 +170,22 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// One-line workload/axis metadata for scenario listings (the CLI's
+    /// `--list-scenarios`): the workload kernel plus the size of every grid
+    /// axis, so new scenarios are discoverable without reading the registry
+    /// source.
+    pub fn summary(&self) -> String {
+        format!(
+            "workload={} · families={} · sizes={} · id-schemes={} · params={} points · base-trials={}",
+            self.workload.name(),
+            self.families.iter().map(|f| f.name()).collect::<Vec<_>>().join(","),
+            self.sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+            self.id_schemes.iter().map(|s| s.name()).collect::<Vec<_>>().join(","),
+            self.params.len(),
+            self.base_trials
+        )
+    }
+
     /// Materializes the grid at the given scale, in deterministic
     /// enumeration order (family, then size, then id scheme, then params).
     pub fn grid(&self, scale: Scale) -> Vec<GridPoint> {
@@ -257,6 +273,18 @@ mod tests {
         wrong_family.workload = Workload::ResilientBoundary { colors: 2 };
         wrong_family.params = vec![Params::two(1, 0)];
         assert!(wrong_family.validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn summary_surfaces_workload_and_axes() {
+        let spec = demo_spec();
+        let summary = spec.summary();
+        assert!(summary.contains("workload=slack-coloring"));
+        assert!(summary.contains("families=cycle,torus"));
+        assert!(summary.contains("sizes=32,64"));
+        assert!(summary.contains("id-schemes=consecutive,random-permutation"));
+        assert!(summary.contains("params=1 points"));
+        assert!(summary.contains("base-trials=400"));
     }
 
     #[test]

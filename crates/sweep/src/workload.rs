@@ -28,8 +28,8 @@ use rlnc_core::prelude::{
 };
 use rlnc_core::relaxation::EpsilonSlack;
 use rlnc_core::resilient::{theoretical_acceptance, ResilientDecider};
-use rlnc_derand::{DerandPipeline, PipelineCase};
-use rlnc_engine::{DecisionScratch, ExecutionPlan, GluedPlan, UnionPlan};
+use rlnc_derand::{CaseId, DerandPipeline, PipelineCase};
+use rlnc_engine::{DecisionScratch, ExecutionPlan, GluedPlan, PlanCache, UnionPlan};
 use rlnc_graph::generators::{cycle, Family};
 use rlnc_graph::{Graph, IdAssignment, NodeId};
 use rlnc_langs::coloring::{improperly_colored_nodes, GlobalGreedyColoring, ProperColoring};
@@ -118,6 +118,18 @@ pub enum Workload {
     /// far-from-anchors event (the trial's success). Requires a connected
     /// regular family (cycle, circulant, prism, torus).
     Theorem1Pipeline,
+    /// The generic **language workload**: the same four-stage pipeline as
+    /// [`Workload::Theorem1Pipeline`], but the case axis `params.b` ranges
+    /// over the *whole* `rlnc-langs` case registry
+    /// ([`CaseId::from_index`] — coloring, `amos`, weak coloring, MIS,
+    /// matching, dominating set, LLL, frugal coloring, Cole–Vishkin,
+    /// majority) instead of the three legacy cases. Candidate instances
+    /// follow the case's input convention (identity names for matching,
+    /// ring orientation for Cole–Vishkin — which also pins its candidates
+    /// to the cycle family regardless of the grid's family axis). For
+    /// `params.b < 3` the trial streams are bit-identical to
+    /// `Theorem1Pipeline`'s. Requires a connected regular family.
+    LanguagePipeline,
 }
 
 impl Workload {
@@ -130,6 +142,7 @@ impl Workload {
             Workload::GluedDecay { .. } => "glued-decay",
             Workload::RamseyLift { .. } => "ramsey-lift",
             Workload::Theorem1Pipeline => "theorem1-pipeline",
+            Workload::LanguagePipeline => "language-pipeline",
         }
     }
 
@@ -150,7 +163,7 @@ impl Workload {
                     ))
                 }
             }
-            Workload::Theorem1Pipeline => {
+            Workload::Theorem1Pipeline | Workload::LanguagePipeline => {
                 if matches!(
                     family,
                     Family::Cycle | Family::Circulant2 | Family::Prism | Family::Torus
@@ -158,8 +171,9 @@ impl Workload {
                     Ok(())
                 } else {
                     Err(format!(
-                        "workload 'theorem1-pipeline' needs a connected regular family \
+                        "workload '{}' needs a connected regular family \
                          (cycle, circulant-2, prism, torus), got '{}'",
+                        self.name(),
                         family.name()
                     ))
                 }
@@ -181,7 +195,7 @@ impl Workload {
             | Workload::GluedDecay { cycle_size, .. } => *cycle_size,
             // The pipeline's hard-instance candidates need room for anchors
             // pairwise 2(t + t') apart and a usable Ramsey probe.
-            Workload::Theorem1Pipeline => n.max(12),
+            Workload::Theorem1Pipeline | Workload::LanguagePipeline => n.max(12),
             Workload::RamseyLift { .. } => n.max(8),
             Workload::SlackColoring { .. } => n,
         }
@@ -206,7 +220,8 @@ impl Workload {
             | Workload::BoostingUnion { .. }
             | Workload::GluedDecay { .. }
             | Workload::RamseyLift { .. }
-            | Workload::Theorem1Pipeline => 0,
+            | Workload::Theorem1Pipeline
+            | Workload::LanguagePipeline => 0,
         }
     }
 
@@ -358,63 +373,92 @@ impl Workload {
                     universe_size: stage.universe_size,
                 }
             }
-            Workload::Theorem1Pipeline => {
-                let case = PipelineCase::from_index(point.params.b);
-                let bundle = case.bundle();
-                let nu = point.params.a.max(2) as usize;
-                // Claim-2 candidates: three family members of increasing
-                // size, consecutive identities, empty inputs.
-                let candidates: Vec<HardInstance> = [point.n, point.n + 2, point.n + 4]
-                    .iter()
-                    .map(|&size| {
-                        let graph = point.family.generate(size, &mut prep_rng);
-                        let input = Labeling::empty(graph.node_count());
-                        let ids = IdAssignment::consecutive(&graph);
-                        HardInstance::new(graph, input, ids)
-                    })
-                    .collect();
-                let pipeline = DerandPipeline::new(
-                    &*bundle.constructor,
-                    &*bundle.decider,
-                    &*bundle.language,
-                    bundle.params,
-                );
-                // Stage 1: the Ramsey refinement of the first deterministic
-                // algorithm over a universe sized to the probe. Its output
-                // feeds stage 2: the smallest surviving identity becomes the
-                // hard-instance floor, restricting the pool toward the
-                // refined universe exactly as Claim 1 hands Claim 2 the
-                // consistent set.
-                let universe: Vec<u64> = (1..=(4 * point.n as u64).max(48)).collect();
-                let ramsey = pipeline.ramsey_stage(
-                    &*bundle.det_family[0],
-                    &[candidates[0].as_instance()],
-                    &universe,
-                    40,
-                    point_seed.child(0).seed(),
-                );
-                let id_floor = ramsey.id_set.first().copied().unwrap_or(1);
-                // Stage 2: one hard instance per deterministic algorithm,
-                // identity ranges pairwise disjoint above the Claim-1 floor.
-                let algos: Vec<&dyn LocalAlgorithm> =
-                    bundle.det_family.iter().map(|b| &**b).collect();
-                let hard = pipeline.hard_instance_stage(&algos, &candidates, 0, id_floor);
-                assert!(
-                    !hard.pool.is_empty(),
-                    "theorem1-pipeline: no hard instance found for case '{}'",
-                    bundle.name
-                );
-                // Stages 3 and 4: both composites planned once.
-                let union = pipeline.union_stage(&hard.pool, nu);
-                let glued = pipeline.glued_stage_auto(&hard.pool, nu);
-                Prepared::Pipeline {
-                    constructor: bundle.constructor,
-                    decider: bundle.decider,
-                    union: union.plan,
-                    glued: glued.plan,
-                }
-            }
+            Workload::Theorem1Pipeline => prepare_case_pipeline(
+                PipelineCase::from_index(point.params.b).case_id(),
+                point,
+                &mut prep_rng,
+                point_seed,
+            ),
+            Workload::LanguagePipeline => prepare_case_pipeline(
+                CaseId::from_index(point.params.b),
+                point,
+                &mut prep_rng,
+                point_seed,
+            ),
         }
+    }
+}
+
+/// Shared body of the two pipeline workloads: stages the full four-stage
+/// Theorem-1 argument for one registry case at one grid point.
+///
+/// `Theorem1Pipeline` maps `params.b` through the legacy three-case axis
+/// and `LanguagePipeline` through the whole registry, but both run this
+/// code — for the legacy cases the two workloads draw identical streams
+/// from `prep_rng`/`point_seed`, so their trial outcomes are bit-identical
+/// (pinned by a workload test).
+fn prepare_case_pipeline(
+    case_id: CaseId,
+    point: &GridPoint,
+    prep_rng: &mut impl Rng,
+    point_seed: SeedSequence,
+) -> Prepared {
+    let case = case_id.case();
+    let nu = point.params.a.max(2) as usize;
+    // Claim-2 candidates: three members of the case's candidate family
+    // (the grid's family, unless the case pins one — Cole–Vishkin needs
+    // oriented rings) of increasing size, consecutive identities, inputs
+    // per the case's convention (empty / identity names / ring
+    // orientation).
+    let family = case.candidate_family(point.family);
+    let candidates: Vec<HardInstance> = [point.n, point.n + 2, point.n + 4]
+        .iter()
+        .map(|&size| {
+            let graph = family.generate(size, prep_rng);
+            let ids = IdAssignment::consecutive(&graph);
+            let input = case.build_input(&graph, &ids);
+            HardInstance::new(graph, input, ids)
+        })
+        .collect();
+    let pipeline = DerandPipeline::new(
+        &*case.constructor,
+        &*case.decider,
+        &*case.language,
+        case.params.into(),
+    );
+    // Stage 1: the Ramsey refinement of the first deterministic algorithm
+    // over a universe sized to the probe. Its output feeds stage 2: the
+    // smallest surviving identity becomes the hard-instance floor,
+    // restricting the pool toward the refined universe exactly as Claim 1
+    // hands Claim 2 the consistent set.
+    let universe: Vec<u64> = (1..=(4 * point.n as u64).max(48)).collect();
+    let ramsey = pipeline.ramsey_stage(
+        &*case.det_family[0],
+        &[candidates[0].as_instance()],
+        &universe,
+        40,
+        point_seed.child(0).seed(),
+    );
+    let id_floor = ramsey.id_set.first().copied().unwrap_or(1);
+    // Stage 2: one hard instance per deterministic algorithm, identity
+    // ranges pairwise disjoint above the Claim-1 floor. Candidate plans are
+    // shared through one cache across the whole algorithm family.
+    let algos: Vec<&dyn LocalAlgorithm> = case.det_family.iter().map(|b| &**b).collect();
+    let mut cache = PlanCache::new();
+    let hard = pipeline.hard_instance_stage_cached(&algos, &candidates, 0, id_floor, &mut cache);
+    assert!(
+        !hard.pool.is_empty(),
+        "language pipeline: no hard instance found for case '{}'",
+        case.name
+    );
+    // Stages 3 and 4: both composites planned once.
+    let union = pipeline.union_stage(&hard.pool, nu);
+    let glued = pipeline.glued_stage_auto(&hard.pool, nu);
+    Prepared::Pipeline {
+        constructor: case.constructor,
+        decider: case.decider,
+        union: union.plan,
+        glued: glued.plan,
     }
 }
 
@@ -765,7 +809,7 @@ impl RandomizedDecider for RejectBadBallsDecider {
     fn accepts(&self, view: &View, coins: &Coins) -> bool {
         let mine = view.output(view.center_local());
         let in_range = mine.as_u64() >= 1 && mine.as_u64() <= self.colors;
-        let conflict = view.center_neighbors().iter().any(|&i| view.output(i) == mine);
+        let conflict = view.center_neighbor_indices().any(|i| view.output(i) == mine);
         if in_range && !conflict {
             true
         } else {
@@ -950,5 +994,64 @@ mod tests {
             decider_p: 0.8,
         };
         assert!(boost.check_family(Family::Grid).is_err());
+        assert!(Workload::LanguagePipeline.check_family(Family::Circulant2).is_ok());
+        assert!(Workload::LanguagePipeline.check_family(Family::Path).is_err());
+        assert_eq!(Workload::LanguagePipeline.normalize_size(4), 12);
+    }
+
+    #[test]
+    fn language_pipeline_reproduces_theorem1_for_the_legacy_cases() {
+        // The generic language workload and the hand-wired theorem1
+        // workload share the registry's three-case prefix: for
+        // params.b ∈ {0, 1, 2} their trial streams must be bit-identical.
+        for case in 0..3u64 {
+            let point = GridPoint {
+                index: case,
+                family: Family::Cycle,
+                n: 12,
+                id_scheme: IdScheme::Consecutive,
+                params: Params::two(2, case),
+                trials: 4,
+            };
+            let point_seed = SeedSequence::new(9).child(point.index);
+            let legacy = Workload::Theorem1Pipeline.prepare(&point, point_seed);
+            let generic = Workload::LanguagePipeline.prepare(&point, point_seed);
+            for trial in 0..4u64 {
+                let seed = point_seed.child(1).child(trial);
+                assert_eq!(
+                    legacy.run_trial(seed),
+                    generic.run_trial(seed),
+                    "case {case}, trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn language_pipeline_runs_every_registered_case() {
+        // The whole catalog — including the id-named matching case and the
+        // family-pinned Cole–Vishkin case — stages and runs end to end.
+        let registry = rlnc_langs::registry::CaseRegistry::builtin();
+        for (index, id) in registry.ids().iter().enumerate() {
+            let point = GridPoint {
+                index: index as u64,
+                family: Family::Prism,
+                n: 12,
+                id_scheme: IdScheme::Consecutive,
+                params: Params::two(2, index as u64),
+                trials: 2,
+            };
+            let point_seed = SeedSequence::new(3).child(point.index);
+            let prepared = Workload::LanguagePipeline.prepare(&point, point_seed);
+            assert!(matches!(&prepared, Prepared::Pipeline { .. }));
+            for trial in 0..2u64 {
+                let outcome = prepared.run_trial(point_seed.child(1).child(trial));
+                assert!(
+                    (0.0..=1.0).contains(&outcome.value),
+                    "case '{}' produced an out-of-range value",
+                    id.name()
+                );
+            }
+        }
     }
 }
