@@ -9,6 +9,7 @@
 //! | Paper section | Module |
 //! |---|---|
 //! | §2.1 LOCAL model, balls, views | [`view`], [`simulator`], [`rounds`] |
+//! | §2.1.1 operational (message-passing) model | [`rounds`] (round backend), [`faults`] (fault plans) |
 //! | §2.1.1 order-invariant algorithms | [`order_invariant`] |
 //! | §2.1.2 randomized Monte-Carlo algorithms | [`algorithm`] (coins), [`simulator`] |
 //! | §2.2 languages, construction & decision tasks | [`labels`], [`config`], [`language`], [`decision`] |
@@ -30,6 +31,7 @@ pub mod algorithm;
 pub mod config;
 pub mod decision;
 pub mod derand;
+pub mod faults;
 pub mod labels;
 pub mod language;
 pub mod one_sided;
@@ -45,13 +47,18 @@ pub use config::{Instance, IoConfig};
 pub use decision::{
     decide, decide_randomized, FnDecider, FnRandomizedDecider, LocalDecider, RandomizedDecider,
 };
+pub use faults::{Adversary, FaultPlan, FaultSchedule, FAULT_PLAN_KINDS};
 pub use labels::{FkPromise, Label, Labeling};
 pub use language::{DistributedLanguage, FnLanguage, FnLcl, LclLanguage};
 pub use one_sided::OneSidedLclDecider;
 pub use order_invariant::OrderInvariantTable;
 pub use relaxation::{EpsilonSlack, FResilient};
 pub use resilient::ResilientDecider;
-pub use rounds::{MessagePassingAlgorithm, RoundEngine};
+pub use rounds::{
+    decide_randomized_via_rounds, run_randomized_via_rounds, run_via_message_passing,
+    GatherAndRun, GatherDecide, GatherRun, MessagePassingAlgorithm, NodeInit, RelabelAdversary,
+    RoundEngine, RoundSystem, RoundTopology,
+};
 pub use simulator::Simulator;
 pub use view::View;
 
@@ -60,6 +67,7 @@ pub mod prelude {
     pub use crate::algorithm::{Coins, FnAlgorithm, FnRandomizedAlgorithm, LocalAlgorithm, RandomizedLocalAlgorithm};
     pub use crate::config::{Instance, IoConfig};
     pub use crate::decision::{decide, decide_randomized, FnDecider, FnRandomizedDecider, LocalDecider, RandomizedDecider};
+    pub use crate::faults::{Adversary, FaultPlan, FaultSchedule};
     pub use crate::labels::{FkPromise, Label, Labeling};
     pub use crate::language::{bad_ball_count, bad_nodes, DistributedLanguage, FnLanguage, FnLcl, LclLanguage};
     pub use crate::one_sided::OneSidedLclDecider;

@@ -1,24 +1,56 @@
-//! Explicit synchronous message-passing execution of LOCAL algorithms.
+//! Explicit synchronous message-passing execution of LOCAL algorithms —
+//! the repo's second execution backend.
 //!
 //! §2.1.1 of the paper describes the LOCAL model operationally: in each
 //! round every node (1) sends messages to its neighbors, (2) receives its
 //! neighbors' messages, and (3) computes. It then observes that a `t`-round
 //! algorithm is equivalent to the "collect the radius-`t` ball and decide"
 //! formulation used everywhere else in the paper (and in
-//! [`crate::simulator`]). This module implements the operational model and
-//! the generic full-information gather, so the equivalence is *tested*
-//! rather than assumed (experiment E10).
+//! [`crate::simulator`]). This module implements the operational model as a
+//! *steppable* system ([`RoundSystem`]) so the equivalence is **tested**
+//! rather than assumed (experiment E10 and the engine's round-equivalence
+//! proptest suite), and so fault models the ball formulation cannot even
+//! express — crash-stop nodes, failure cascades, Byzantine message
+//! rewriting — become first-class, seeded, assertable events
+//! (see [`crate::faults`]).
+//!
+//! Three layers live here:
+//!
+//! * [`MessagePassingAlgorithm`] — the node state machine contract, with
+//!   [`MessagePassingAlgorithm::receive_partial`] as the crash-aware
+//!   delivery hook (its default compacts the surviving messages, so
+//!   fault-oblivious algorithms run unchanged under crashes).
+//! * [`RoundSystem`] — explicit per-round message queues over a reusable
+//!   [`RoundTopology`], driven by [`RoundSystem::step`] /
+//!   [`RoundSystem::step_until_quiet`], with optional
+//!   [`FaultSchedule`]-driven crashes and an [`Adversary`] tap on
+//!   Byzantine senders. [`RoundEngine`] is the one-shot fault-free facade.
+//! * The full-information gathers — [`GatherAndRun`] (identity-keyed, the
+//!   classic simulation argument) and the coin-aware [`GatherRun`] /
+//!   [`GatherDecide`] (host-keyed), which reconstruct each node's view
+//!   **bit-identically** to [`View::collect`], so randomized algorithms
+//!   and deciders produce the same verdicts through messages as through
+//!   ball extraction with the same seed.
 
-use crate::algorithm::LocalAlgorithm;
-use crate::config::Instance;
+use crate::algorithm::{Coins, LocalAlgorithm, RandomizedLocalAlgorithm};
+use crate::config::{Instance, IoConfig};
+use crate::decision::RandomizedDecider;
+use crate::faults::{Adversary, FaultSchedule};
 use crate::labels::{Label, Labeling};
 use crate::view::View;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use rlnc_graph::{Graph, GraphBuilder, IdAssignment, NodeId};
+use rlnc_graph::{Ball, Graph, GraphBuilder, IdAssignment, NodeId};
+use std::borrow::Cow;
 
 /// Per-node initialization data: what a node knows before round 1.
 #[derive(Debug, Clone)]
 pub struct NodeInit {
+    /// The node's host-graph index — the key of its private coin stream
+    /// (see [`Coins::for_node`](crate::algorithm::Coins)), which the model
+    /// treats as part of the node's local state alongside its identity.
+    pub node: NodeId,
     /// The node's identity.
     pub id: u64,
     /// The node's degree (number of ports).
@@ -51,28 +83,41 @@ pub trait MessagePassingAlgorithm: Sync {
     /// the message that arrived on port `i`).
     fn receive(&self, state: Self::State, round: u32, incoming: &[Self::Message]) -> Self::State;
 
+    /// Crash-aware state update: `incoming[i]` is `None` when the port's
+    /// neighbor was silent this round (crashed). The default compacts the
+    /// surviving messages and delegates to
+    /// [`receive`](MessagePassingAlgorithm::receive), so fault-oblivious
+    /// algorithms behave identically whether ports fail or not; override
+    /// it to make port-silence observable. Only invoked by fault-injected
+    /// executions — fault-free runs call `receive` directly.
+    fn receive_partial(
+        &self,
+        state: Self::State,
+        round: u32,
+        incoming: &[Option<Self::Message>],
+    ) -> Self::State {
+        let surviving: Vec<Self::Message> = incoming.iter().filter_map(Clone::clone).collect();
+        self.receive(state, round, &surviving)
+    }
+
     /// Output label after the final round.
     fn output(&self, state: &Self::State) -> Label;
 }
 
-/// The synchronous round engine.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RoundEngine;
+/// Precomputed delivery map of a graph, reusable across executions.
+///
+/// For the edge `(v, w)` seen from `v`'s port `p`, `reverse_port[v][p]` is
+/// the index of `v` in `w`'s neighbor list — so delivering `w`'s message
+/// to `v` is O(1) per message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTopology {
+    reverse_port: Vec<Vec<usize>>,
+}
 
-impl RoundEngine {
-    /// Creates a round engine.
-    pub fn new() -> Self {
-        RoundEngine
-    }
-
-    /// Runs a message-passing algorithm on an instance and returns the
-    /// output labeling.
-    pub fn run<M: MessagePassingAlgorithm>(&self, algo: &M, instance: &Instance<'_>) -> Labeling {
-        let graph = instance.graph;
-        let n = graph.node_count();
-        // Port map: for edge (v, w), the index of v in w's neighbor list, so
-        // delivery is O(1) per message.
-        let reverse_port: Vec<Vec<usize>> = (0..n)
+impl RoundTopology {
+    /// Builds the delivery map of `graph` (one pass over the adjacency).
+    pub fn new(graph: &Graph) -> RoundTopology {
+        let reverse_port = (0..graph.node_count())
             .map(|vi| {
                 let v = NodeId::from_index(vi);
                 graph
@@ -87,40 +132,280 @@ impl RoundEngine {
                     .collect()
             })
             .collect();
+        RoundTopology { reverse_port }
+    }
 
-        let mut states: Vec<M::State> = (0..n)
+    /// Number of nodes the topology covers.
+    pub fn node_count(&self) -> usize {
+        self.reverse_port.len()
+    }
+}
+
+/// A steppable synchronous message-passing system: explicit per-round
+/// message queues over one instance, one node state machine per node.
+///
+/// Created by [`RoundSystem::new`] (or
+/// [`RoundSystem::with_topology`] to reuse a prebuilt [`RoundTopology`]
+/// across executions), then driven round by round with
+/// [`RoundSystem::step`] or to completion with
+/// [`RoundSystem::step_until_quiet`] / [`RoundSystem::run`].
+///
+/// Fault injection is opt-in: [`RoundSystem::with_faults`] silences
+/// crashed senders per the schedule (silent ports arrive as `None` in
+/// [`MessagePassingAlgorithm::receive_partial`]), and
+/// [`RoundSystem::with_adversary`] rewrites Byzantine nodes' outgoing
+/// messages. Fault-free execution is bit-identical to the original
+/// [`RoundEngine::run`] loop, which now delegates here.
+pub struct RoundSystem<'a, M: MessagePassingAlgorithm> {
+    algo: &'a M,
+    graph: &'a Graph,
+    topology: Cow<'a, RoundTopology>,
+    states: Vec<M::State>,
+    faults: Option<&'a FaultSchedule>,
+    adversary: Option<&'a (dyn Adversary<M::Message> + 'a)>,
+    round: u32,
+    parallel: bool,
+}
+
+impl<'a, M: MessagePassingAlgorithm> RoundSystem<'a, M> {
+    /// Initializes every node's state machine over `instance`, building
+    /// the delivery topology on the fly.
+    pub fn new(algo: &'a M, instance: &Instance<'a>) -> Self {
+        let topology = RoundTopology::new(instance.graph);
+        Self::build(algo, instance, Cow::Owned(topology))
+    }
+
+    /// Like [`RoundSystem::new`], but borrows a prebuilt topology — the
+    /// batched-execution path, where one topology serves many seeds.
+    ///
+    /// # Panics
+    /// Panics if the topology's node count differs from the instance's.
+    pub fn with_topology(
+        algo: &'a M,
+        instance: &Instance<'a>,
+        topology: &'a RoundTopology,
+    ) -> Self {
+        assert_eq!(
+            topology.node_count(),
+            instance.graph.node_count(),
+            "topology was built for a different graph"
+        );
+        Self::build(algo, instance, Cow::Borrowed(topology))
+    }
+
+    fn build(algo: &'a M, instance: &Instance<'a>, topology: Cow<'a, RoundTopology>) -> Self {
+        let graph = instance.graph;
+        let states = (0..graph.node_count())
             .map(|vi| {
                 let v = NodeId::from_index(vi);
                 algo.init(&NodeInit {
+                    node: v,
                     id: instance.ids.id(v),
                     degree: graph.degree(v),
                     input: instance.input.get(v).clone(),
                 })
             })
             .collect();
+        RoundSystem {
+            algo,
+            graph,
+            topology,
+            states,
+            faults: None,
+            adversary: None,
+            round: 0,
+            parallel: true,
+        }
+    }
 
-        for round in 1..=algo.rounds() {
-            // Phase 1: every node prepares its outgoing messages.
-            let outgoing: Vec<Vec<M::Message>> = states
-                .par_iter()
-                .map(|state| algo.send(state, round))
-                .collect();
-            // Phase 2 + 3: deliver and update.
-            states = (0..n)
-                .into_par_iter()
-                .map(|vi| {
-                    let v = NodeId::from_index(vi);
+    /// Attaches a fault schedule: crashed nodes stop sending and updating
+    /// from their crash round on (their output is computed from the frozen
+    /// state), and Byzantine nodes' messages pass through the adversary.
+    ///
+    /// # Panics
+    /// Panics if the schedule covers a different node count.
+    pub fn with_faults(mut self, schedule: &'a FaultSchedule) -> Self {
+        assert_eq!(
+            schedule.node_count(),
+            self.graph.node_count(),
+            "fault schedule was built for a different graph"
+        );
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// Attaches the message-level adversary consulted for Byzantine
+    /// senders (no-op unless a schedule with Byzantine nodes is attached).
+    pub fn with_adversary(mut self, adversary: &'a (dyn Adversary<M::Message> + 'a)) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Disables the per-round fan-out over nodes (for execution inside an
+    /// already-parallel region; results are identical either way).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Total rounds the algorithm runs.
+    pub fn total_rounds(&self) -> u32 {
+        self.algo.rounds()
+    }
+
+    /// Returns `true` when stepping can no longer change any state: the
+    /// algorithm's rounds are exhausted, or every node has crashed.
+    pub fn is_quiet(&self) -> bool {
+        if self.round >= self.algo.rounds() {
+            return true;
+        }
+        match self.faults {
+            Some(f) => f.all_silent_at(self.round + 1),
+            None => false,
+        }
+    }
+
+    /// Executes one synchronous round — send, deliver, compute — and
+    /// returns `true`, or returns `false` without side effects if the
+    /// system [`is_quiet`](RoundSystem::is_quiet).
+    pub fn step(&mut self) -> bool {
+        if self.is_quiet() {
+            return false;
+        }
+        let round = self.round + 1;
+        let graph = self.graph;
+        let n = graph.node_count();
+        let states = &self.states;
+        let algo = self.algo;
+        let faults = self.faults;
+        let adversary = self.adversary;
+        let reverse_port = &self.topology.reverse_port;
+
+        // Phase 1: every live node prepares its outgoing messages; the
+        // adversary rewrites Byzantine senders' with (node, round)-keyed
+        // coins, so the result is independent of scheduling.
+        let send_one = |vi: usize| -> Option<Vec<M::Message>> {
+            let v = NodeId::from_index(vi);
+            if let Some(f) = faults {
+                if f.is_silent(v, round) {
+                    return None;
+                }
+            }
+            let mut messages = algo.send(&states[vi], round);
+            if let (Some(f), Some(adv)) = (faults, adversary) {
+                if f.is_byzantine(v) {
+                    adv.rewrite(v, round, &mut messages, &mut f.adversary_rng(v, round));
+                }
+            }
+            Some(messages)
+        };
+        let outgoing: Vec<Option<Vec<M::Message>>> = if self.parallel {
+            (0..n).into_par_iter().map(send_one).collect()
+        } else {
+            (0..n).map(send_one).collect()
+        };
+
+        // Phase 2 + 3: deliver and update. Fault-free executions call
+        // `receive` with a plain slice (bit-identical to the historical
+        // engine loop); fault-injected ones go through `receive_partial`
+        // so port silence is observable.
+        let compute_one = |vi: usize| -> M::State {
+            let v = NodeId::from_index(vi);
+            match faults {
+                None => {
                     let incoming: Vec<M::Message> = graph
                         .neighbor_ids(v)
                         .enumerate()
-                        .map(|(port, w)| outgoing[w.index()][reverse_port[vi][port]].clone())
+                        .map(|(port, w)| {
+                            let sent = outgoing[w.index()]
+                                .as_ref()
+                                .expect("fault-free nodes always send");
+                            sent[reverse_port[vi][port]].clone()
+                        })
                         .collect();
                     algo.receive(states[vi].clone(), round, &incoming)
-                })
-                .collect();
-        }
+                }
+                Some(f) if f.is_silent(v, round) => states[vi].clone(),
+                Some(_) => {
+                    let incoming: Vec<Option<M::Message>> = graph
+                        .neighbor_ids(v)
+                        .enumerate()
+                        .map(|(port, w)| {
+                            outgoing[w.index()]
+                                .as_ref()
+                                .map(|sent| sent[reverse_port[vi][port]].clone())
+                        })
+                        .collect();
+                    algo.receive_partial(states[vi].clone(), round, &incoming)
+                }
+            }
+        };
+        let next: Vec<M::State> = if self.parallel {
+            (0..n).into_par_iter().map(compute_one).collect()
+        } else {
+            (0..n).map(compute_one).collect()
+        };
+        self.states = next;
+        self.round = round;
+        true
+    }
 
-        Labeling::new(states.iter().map(|s| algo.output(s)).collect())
+    /// Steps until the system is quiet and returns the number of rounds
+    /// executed. Terminates even when every node has crashed (a fully
+    /// silent system is quiet immediately).
+    pub fn step_until_quiet(&mut self) -> u32 {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Applies the algorithm's output function to every node's current
+    /// (possibly crash-frozen) state.
+    pub fn outputs(&self) -> Labeling {
+        Labeling::new(self.states.iter().map(|s| self.algo.output(s)).collect())
+    }
+
+    /// Writes the outputs into an existing labeling, reusing its
+    /// allocations (the per-block buffer path of batched runners).
+    ///
+    /// # Panics
+    /// Panics if `out` was sized for a different node count.
+    pub fn write_outputs(&self, out: &mut Labeling) {
+        assert_eq!(out.len(), self.states.len(), "output buffer size mismatch");
+        for (vi, state) in self.states.iter().enumerate() {
+            out.set(NodeId::from_index(vi), self.algo.output(state));
+        }
+    }
+
+    /// Runs to quiescence and returns the outputs.
+    pub fn run(mut self) -> Labeling {
+        self.step_until_quiet();
+        self.outputs()
+    }
+}
+
+/// The synchronous round engine: the one-shot, fault-free facade over
+/// [`RoundSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundEngine;
+
+impl RoundEngine {
+    /// Creates a round engine.
+    pub fn new() -> Self {
+        RoundEngine
+    }
+
+    /// Runs a message-passing algorithm on an instance and returns the
+    /// output labeling.
+    pub fn run<M: MessagePassingAlgorithm>(&self, algo: &M, instance: &Instance<'_>) -> Labeling {
+        RoundSystem::new(algo, instance).run()
     }
 }
 
@@ -164,6 +449,11 @@ impl GatherState {
 /// and incident edges for `t` rounds, reconstructs the radius-`t` ball, and
 /// applies the wrapped algorithm's output function — the simulation
 /// argument of §2.1.1.
+///
+/// This is the identity-keyed classic; randomized algorithms need the
+/// host-keyed [`GatherRun`] instead, because coin streams are keyed by
+/// host index and a subgraph reconstructed from identities alone cannot
+/// recover them.
 pub struct GatherAndRun<'a, A: ?Sized> {
     inner: &'a A,
 }
@@ -250,12 +540,327 @@ pub fn run_via_message_passing<A: LocalAlgorithm + ?Sized>(
     RoundEngine::new().run(&GatherAndRun::new(algo), instance)
 }
 
+/// Honest identities must fit below this bound for [`RelabelAdversary`]'s
+/// forged identities (which live at or above it) to stay disjoint from
+/// them — every identity universe in the repo is far below `2^40`.
+const FORGED_ID_BASE: u64 = 1 << 40;
+
+/// What the host-keyed full-information gather knows about one remote
+/// node: its host index (the coin-stream key), identity, labels, and
+/// degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    host: NodeId,
+    id: u64,
+    input: Label,
+    output: Label,
+    degree: usize,
+}
+
+/// State (and message) of the host-keyed full-information gather used by
+/// [`GatherRun`] and [`GatherDecide`]: everything learned so far, keyed
+/// by host index so the center can reconstruct its view — including every
+/// node's private coin stream — bit-identically to [`View::collect`].
+#[derive(Debug, Clone)]
+pub struct FullGatherState {
+    own: NodeId,
+    nodes: Vec<HostInfo>,
+    /// Edges between known nodes as (smaller, larger) host-index pairs.
+    /// Invariant: both endpoints appear in `nodes` (merging copies a
+    /// message's nodes wholesale, and adversaries rewrite identities, not
+    /// structure).
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl FullGatherState {
+    fn of(node: &NodeInit, output: Label) -> FullGatherState {
+        debug_assert!(
+            node.id < FORGED_ID_BASE,
+            "identities must stay below 2^40 for Byzantine relabeling to stay injective"
+        );
+        FullGatherState {
+            own: node.node,
+            nodes: vec![HostInfo {
+                host: node.node,
+                id: node.id,
+                input: node.input.clone(),
+                output,
+                degree: node.degree,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    fn own_degree(&self) -> usize {
+        self.nodes
+            .iter()
+            .find(|n| n.host == self.own)
+            .map(|n| n.degree)
+            .unwrap_or(0)
+    }
+
+    fn absorb(&mut self, msg: &FullGatherState) {
+        let edge = (self.own.min(msg.own), self.own.max(msg.own));
+        if !self.edges.contains(&edge) {
+            self.edges.push(edge);
+        }
+        for node in &msg.nodes {
+            if !self.nodes.iter().any(|n| n.host == node.host) {
+                self.nodes.push(node.clone());
+            }
+        }
+        for e in &msg.edges {
+            if !self.edges.contains(e) {
+                self.edges.push(*e);
+            }
+        }
+    }
+
+    /// XORs `mask` into every known identity — the relabeling attack.
+    /// With `mask`'s low 40 bits zero, forged identities stay positive,
+    /// injective, and disjoint from honest ones even across chains of
+    /// Byzantine relays (XOR composes to another such mask).
+    pub fn forge_ids(&mut self, mask: u64) {
+        for node in &mut self.nodes {
+            node.id ^= mask;
+        }
+    }
+
+    /// Reconstructs the center's radius-`radius` view from the learned
+    /// subgraph, bit-identically to [`View::collect`] /
+    /// [`View::collect_io`] on the host instance: the learned nodes are
+    /// indexed in host order (so BFS tie-breaking matches), ball members
+    /// are mapped back to their true host indices (so coin streams
+    /// match), and the center's true degree is restored (so radius-0
+    /// views report it correctly).
+    fn reconstruct_view(&self, radius: u32, with_outputs: bool) -> View {
+        let mut nodes = self.nodes.clone();
+        nodes.sort_by_key(|n| n.host);
+        let hosts: Vec<NodeId> = nodes.iter().map(|n| n.host).collect();
+        let index_of = |h: NodeId| {
+            hosts
+                .binary_search(&h)
+                .expect("gather invariant: every edge endpoint is a known node")
+        };
+        let mut builder = GraphBuilder::new(nodes.len());
+        for &(a, b) in &self.edges {
+            builder.add_edge(index_of(a), index_of(b));
+        }
+        let graph: Graph = builder.build();
+        let center = NodeId::from_index(index_of(self.own));
+        let mut ball = Ball::extract(&graph, center, radius);
+        let ids: Vec<u64> = ball.members.iter().map(|&m| nodes[m.index()].id).collect();
+        let inputs: Vec<Label> = ball
+            .members
+            .iter()
+            .map(|&m| nodes[m.index()].input.clone())
+            .collect();
+        let outputs: Option<Vec<Label>> = with_outputs.then(|| {
+            ball.members
+                .iter()
+                .map(|&m| nodes[m.index()].output.clone())
+                .collect()
+        });
+        let host_degree = nodes[center.index()].degree;
+        for m in &mut ball.members {
+            *m = nodes[m.index()].host;
+        }
+        View::from_parts(ball, self.own, radius, ids, inputs, outputs, host_degree)
+    }
+}
+
+fn full_gather_send(state: &FullGatherState) -> Vec<FullGatherState> {
+    // Unbounded messages: the whole state on every port.
+    vec![state.clone(); state.own_degree()]
+}
+
+fn full_gather_receive(
+    mut state: FullGatherState,
+    incoming: &[FullGatherState],
+) -> FullGatherState {
+    for msg in incoming {
+        state.absorb(msg);
+    }
+    state
+}
+
+/// The host-keyed full-information gather for **randomized** (and, via the
+/// blanket impl, deterministic) LOCAL algorithms: floods host indices,
+/// identities, inputs, and incident edges, then evaluates the wrapped
+/// algorithm on a view reconstructed bit-identically to
+/// [`View::collect`] — same ball, same member order, same coin streams.
+pub struct GatherRun<'a, A: ?Sized> {
+    inner: &'a A,
+    coins: Coins,
+}
+
+impl<'a, A: RandomizedLocalAlgorithm + ?Sized> GatherRun<'a, A> {
+    /// Wraps an algorithm together with the execution's coin source.
+    pub fn new(inner: &'a A, coins: Coins) -> Self {
+        GatherRun { inner, coins }
+    }
+}
+
+impl<'a, A: RandomizedLocalAlgorithm + ?Sized> MessagePassingAlgorithm for GatherRun<'a, A> {
+    type State = FullGatherState;
+    type Message = FullGatherState;
+
+    fn rounds(&self) -> u32 {
+        self.inner.radius()
+    }
+
+    fn init(&self, node: &NodeInit) -> FullGatherState {
+        FullGatherState::of(node, Label::empty())
+    }
+
+    fn send(&self, state: &FullGatherState, _round: u32) -> Vec<FullGatherState> {
+        full_gather_send(state)
+    }
+
+    fn receive(
+        &self,
+        state: FullGatherState,
+        _round: u32,
+        incoming: &[FullGatherState],
+    ) -> FullGatherState {
+        full_gather_receive(state, incoming)
+    }
+
+    fn output(&self, state: &FullGatherState) -> Label {
+        let view = state.reconstruct_view(self.inner.radius(), false);
+        self.inner.output(&view, &self.coins)
+    }
+}
+
+/// The host-keyed full-information gather for **deciders**: each node also
+/// knows its own output label, floods it alongside the rest, and emits its
+/// verdict as a boolean label — the round backend's implementation of the
+/// same [`RandomizedDecider`] contract the engine evaluates by ball
+/// extraction.
+pub struct GatherDecide<'a, D: ?Sized> {
+    inner: &'a D,
+    outputs: &'a Labeling,
+    coins: Coins,
+}
+
+impl<'a, D: RandomizedDecider + ?Sized> GatherDecide<'a, D> {
+    /// Wraps a decider with the configuration's output labeling and the
+    /// execution's coin source.
+    pub fn new(inner: &'a D, outputs: &'a Labeling, coins: Coins) -> Self {
+        GatherDecide {
+            inner,
+            outputs,
+            coins,
+        }
+    }
+}
+
+impl<'a, D: RandomizedDecider + ?Sized> MessagePassingAlgorithm for GatherDecide<'a, D> {
+    type State = FullGatherState;
+    type Message = FullGatherState;
+
+    fn rounds(&self) -> u32 {
+        self.inner.radius()
+    }
+
+    fn init(&self, node: &NodeInit) -> FullGatherState {
+        FullGatherState::of(node, self.outputs.get(node.node).clone())
+    }
+
+    fn send(&self, state: &FullGatherState, _round: u32) -> Vec<FullGatherState> {
+        full_gather_send(state)
+    }
+
+    fn receive(
+        &self,
+        state: FullGatherState,
+        _round: u32,
+        incoming: &[FullGatherState],
+    ) -> FullGatherState {
+        full_gather_receive(state, incoming)
+    }
+
+    fn output(&self, state: &FullGatherState) -> Label {
+        let view = state.reconstruct_view(self.inner.radius(), true);
+        Label::from_bool(self.inner.accepts(&view, &self.coins))
+    }
+}
+
+/// The Byzantine relabeling adversary: each round, a corrupted node's
+/// outgoing gather messages have **every known identity** XOR-masked with
+/// a fresh `(node, round)`-keyed mask whose low 40 bits are zero. Hosts,
+/// inputs, and structure are untouched — this is pure identity forgery,
+/// the generalization of the one-off `FaultyConstructor`
+/// (`rlnc-langs`) label corruption to the message level. The mask shape
+/// keeps forged identities positive, injective, and disjoint from honest
+/// ones (which live below `2^40`), so victims can still rebuild a valid
+/// [`IdAssignment`] — they just decide over forged identities.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelabelAdversary;
+
+impl RelabelAdversary {
+    /// Creates the adversary (it is stateless; all randomness comes from
+    /// the per-`(node, round)` stream the system hands to `rewrite`).
+    pub fn new() -> Self {
+        RelabelAdversary
+    }
+}
+
+impl Adversary<FullGatherState> for RelabelAdversary {
+    fn rewrite(
+        &self,
+        _sender: NodeId,
+        _round: u32,
+        outgoing: &mut [FullGatherState],
+        rng: &mut ChaCha8Rng,
+    ) {
+        let mask = (rng.random::<u64>() | 1) << 40;
+        for msg in outgoing.iter_mut() {
+            msg.forge_ids(mask);
+        }
+    }
+}
+
+/// Runs a randomized ball-view algorithm through the round backend: the
+/// message-passing counterpart of
+/// [`Simulator::run_randomized`](crate::simulator::Simulator) with the
+/// same seed, bit-identical on fault-free executions.
+pub fn run_randomized_via_rounds<A: RandomizedLocalAlgorithm + ?Sized>(
+    algo: &A,
+    instance: &Instance<'_>,
+    execution_seed: rlnc_par::rng::SeedSequence,
+) -> Labeling {
+    let wrapper = GatherRun::new(algo, Coins::new(execution_seed));
+    RoundSystem::new(&wrapper, instance).run()
+}
+
+/// Decides `(G, (x, y))` through the round backend: every node gathers
+/// its decision view by messages and votes; accepted iff every node
+/// accepts. Bit-identical to
+/// [`decide_randomized`](crate::decision::decide_randomized) with the
+/// same seed.
+pub fn decide_randomized_via_rounds<D: RandomizedDecider + ?Sized>(
+    decider: &D,
+    io: &IoConfig<'_>,
+    ids: &IdAssignment,
+    execution_seed: rlnc_par::rng::SeedSequence,
+) -> bool {
+    let instance = Instance::new(io.graph, io.input, ids);
+    let wrapper = GatherDecide::new(decider, io.output, Coins::new(execution_seed));
+    let verdicts = RoundSystem::new(&wrapper, &instance).run();
+    let yes = Label::from_bool(true);
+    verdicts.as_slice().iter().all(|v| *v == yes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::FnAlgorithm;
+    use crate::algorithm::{FnAlgorithm, FnRandomizedAlgorithm};
+    use crate::decision::{decide_randomized, FnRandomizedDecider};
+    use crate::faults::FaultPlan;
     use crate::simulator::Simulator;
     use rlnc_graph::generators::{binary_tree, cycle, grid};
+    use rlnc_par::rng::SeedSequence;
 
     /// A hand-written message-passing algorithm: compute the minimum
     /// identity within distance `t` by flooding.
@@ -351,5 +956,241 @@ mod tests {
         let direct = Simulator::new().run(&algo, &inst);
         let via_messages = run_via_message_passing(&algo, &inst);
         assert_eq!(direct, via_messages);
+    }
+
+    // --- RoundSystem / steppable API -----------------------------------
+
+    #[test]
+    fn stepping_matches_one_shot_execution() {
+        let g = grid(3, 4);
+        let x = Labeling::empty(12);
+        let ids = IdAssignment::spread(&g, 5);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = MinIdFlood { rounds: 3 };
+        let one_shot = RoundEngine::new().run(&algo, &inst);
+        let mut system = RoundSystem::new(&algo, &inst).sequential();
+        assert_eq!(system.round(), 0);
+        assert_eq!(system.total_rounds(), 3);
+        assert!(system.step());
+        assert!(system.step());
+        assert!(!system.is_quiet());
+        assert_eq!(system.step_until_quiet(), 1);
+        assert!(system.is_quiet());
+        assert!(!system.step());
+        assert_eq!(system.round(), 3);
+        assert_eq!(system.outputs(), one_shot);
+        let mut reused = Labeling::empty(12);
+        system.write_outputs(&mut reused);
+        assert_eq!(reused, one_shot);
+    }
+
+    #[test]
+    fn radius_zero_system_is_quiet_immediately() {
+        let g = cycle(6);
+        let x = Labeling::empty(6);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = MinIdFlood { rounds: 0 };
+        let mut system = RoundSystem::new(&algo, &inst);
+        assert!(system.is_quiet());
+        assert_eq!(system.step_until_quiet(), 0);
+        assert_eq!(system.outputs(), Simulator::new().run(
+            &FnAlgorithm::new(0, "own-id", |v: &View| Label::from_u64(v.center_id())),
+            &inst,
+        ));
+    }
+
+    #[test]
+    fn single_node_and_isolated_node_graphs_run_cleanly() {
+        // A single-node graph: no ports, no messages, any number of rounds.
+        let single = GraphBuilder::new(1).build();
+        let x = Labeling::empty(1);
+        let ids = IdAssignment::consecutive(&single);
+        let inst = Instance::new(&single, &x, &ids);
+        let out = RoundEngine::new().run(&MinIdFlood { rounds: 4 }, &inst);
+        assert_eq!(out.get(NodeId(0)).as_u64(), ids.id(NodeId(0)));
+        // Degree-0 nodes inside a larger graph gather nothing but still
+        // answer, and the host-keyed gather restores their (zero) degree
+        // and their neighbors' views are unaffected.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build(); // nodes 3, 4 are isolated
+        let x = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0)));
+        let ids = IdAssignment::spread(&g, 3);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(2, "ball-size-and-degree", |view: &View| {
+            Label::from_u64((view.len() as u64) * 100 + view.center_degree() as u64)
+        });
+        assert_eq!(
+            run_via_message_passing(&algo, &inst),
+            Simulator::new().run(&algo, &inst)
+        );
+        assert_eq!(
+            run_randomized_via_rounds(&algo, &inst, SeedSequence::new(2)),
+            Simulator::new().run(&algo, &inst)
+        );
+    }
+
+    // --- host-keyed gather: coins and deciders -------------------------
+
+    #[test]
+    fn randomized_gather_reproduces_simulator_coin_streams() {
+        // Reads every view node's private coins — only reproducible if the
+        // gather restores true host indices (the coin-stream keys).
+        let algo = FnRandomizedAlgorithm::new(2, "coin-mix", |view: &View, coins: &Coins| {
+            let mut acc = view.center_id();
+            for i in 0..view.len() {
+                let mut rng = coins.for_view_node(view, i);
+                acc = acc.wrapping_mul(31).wrapping_add(rng.random::<u64>() & 0xFFFF);
+            }
+            Label::from_u64(acc)
+        });
+        for (graph, spread) in [(cycle(18), 7), (grid(4, 4), 1), (binary_tree(15), 3)] {
+            let x = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0 % 3)));
+            let ids = IdAssignment::spread(&graph, spread);
+            let inst = Instance::new(&graph, &x, &ids);
+            for trial in 0..4 {
+                let seed = SeedSequence::new(41).child(trial);
+                let direct = Simulator::sequential().run_randomized(&algo, &inst, seed);
+                let via_rounds = run_randomized_via_rounds(&algo, &inst, seed);
+                assert_eq!(direct, via_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn decider_via_rounds_matches_ball_extraction_verdicts() {
+        let g = cycle(14);
+        let x = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 2)));
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 3)));
+        let ids = IdAssignment::spread(&g, 5);
+        let io = IoConfig::new(&g, &x, &y);
+        let decider = FnRandomizedDecider::new(1, "noisy-parity", |view: &View, coins: &Coins| {
+            let parity = (0..view.len()).map(|i| view.output(i).as_u64()).sum::<u64>() % 2;
+            parity == 0 || coins.for_center(view).random_bool(0.5)
+        });
+        for trial in 0..12 {
+            let seed = SeedSequence::new(6).child(trial);
+            assert_eq!(
+                decide_randomized_via_rounds(&decider, &io, &ids, seed),
+                decide_randomized(&decider, &io, &ids, seed)
+            );
+        }
+    }
+
+    // --- fault injection ------------------------------------------------
+
+    #[test]
+    fn crashed_nodes_freeze_and_all_crashed_systems_stay_quiet() {
+        let g = cycle(10);
+        let x = Labeling::empty(10);
+        let ids = IdAssignment::consecutive(&g);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = MinIdFlood { rounds: 5 };
+        let schedule = FaultPlan::CrashOnStart { probability: 1.0 }
+            .schedule(&g, SeedSequence::new(1));
+        let mut system = RoundSystem::new(&algo, &inst).with_faults(&schedule);
+        // Every node crashed before round 1: quiet immediately, and
+        // step_until_quiet terminates without executing a round.
+        assert!(system.is_quiet());
+        assert_eq!(system.step_until_quiet(), 0);
+        // Frozen outputs: each node still reports its init-state output.
+        let out = system.outputs();
+        for v in g.nodes() {
+            assert_eq!(out.get(v).as_u64(), ids.id(v));
+        }
+    }
+
+    #[test]
+    fn partial_crashes_silence_exactly_the_scheduled_ports() {
+        // Deterministic single-crash schedule on a path: node 2 crashes at
+        // round 1, so the min-id flood never crosses it.
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let x = Labeling::empty(5);
+        let ids = IdAssignment::consecutive(&g); // ids 1..=5 in node order
+        let inst = Instance::new(&g, &x, &ids);
+        let mut schedule = None;
+        // Find a seed whose CrashOnStart(p=0.5) schedule crashes exactly
+        // node 2 — determinism makes this a stable, reproducible pick.
+        for s in 0.. {
+            let candidate = FaultPlan::CrashOnStart { probability: 0.5 }
+                .schedule(&g, SeedSequence::new(s));
+            let crashed: Vec<bool> = (0..5)
+                .map(|v| candidate.is_silent(NodeId(v), 1))
+                .collect();
+            if crashed == [false, false, true, false, false] {
+                schedule = Some(candidate);
+                break;
+            }
+        }
+        let schedule = schedule.unwrap();
+        let algo = MinIdFlood { rounds: 4 };
+        let out = RoundSystem::new(&algo, &inst)
+            .with_faults(&schedule)
+            .sequential()
+            .run();
+        // Nodes 3 and 4 never hear of id 1 across the crashed node 2.
+        assert_eq!(out.get(NodeId(0)).as_u64(), 1);
+        assert_eq!(out.get(NodeId(1)).as_u64(), 1);
+        assert_eq!(out.get(NodeId(3)).as_u64(), 4);
+        assert_eq!(out.get(NodeId(4)).as_u64(), 4);
+        // The crashed node froze at its init state.
+        assert_eq!(out.get(NodeId(2)).as_u64(), 3);
+    }
+
+    #[test]
+    fn fault_free_schedule_changes_nothing() {
+        let g = grid(3, 3);
+        let x = Labeling::empty(9);
+        let ids = IdAssignment::spread(&g, 2);
+        let inst = Instance::new(&g, &x, &ids);
+        let algo = FnAlgorithm::new(2, "sum", |view: &View| {
+            Label::from_u64((0..view.len()).map(|i| view.id(i)).sum())
+        });
+        let schedule = FaultSchedule::fault_free(9, SeedSequence::new(3));
+        let wrapper = GatherRun::new(&algo, Coins::new(SeedSequence::new(8)));
+        let faulty = RoundSystem::new(&wrapper, &inst).with_faults(&schedule).run();
+        let clean = RoundSystem::new(&wrapper, &inst).run();
+        assert_eq!(faulty, clean);
+        assert_eq!(clean, Simulator::new().run(&algo, &inst));
+    }
+
+    #[test]
+    fn byzantine_relabeling_forges_ids_without_breaking_victims() {
+        let g = cycle(12);
+        let x = Labeling::empty(12);
+        let ids = IdAssignment::spread(&g, 5);
+        let inst = Instance::new(&g, &x, &ids);
+        // Output = max identity seen: forged ids (≥ 2^40) dwarf honest
+        // ones, which is how we observe the attack.
+        let algo = FnAlgorithm::new(2, "id-max", |view: &View| {
+            Label::from_u64((0..view.len()).map(|i| view.id(i)).max().unwrap())
+        });
+        let schedule = FaultPlan::ByzantineRelabel { probability: 0.4 }
+            .schedule(&g, SeedSequence::new(2));
+        assert!(schedule.has_byzantine());
+        let adversary = RelabelAdversary::new();
+        let wrapper = GatherRun::new(&algo, Coins::new(SeedSequence::new(0)));
+        let attacked = RoundSystem::new(&wrapper, &inst)
+            .with_faults(&schedule)
+            .with_adversary(&adversary)
+            .run();
+        let honest = Simulator::new().run(&algo, &inst);
+        assert_ne!(attacked, honest);
+        let forged_seen = g
+            .nodes()
+            .any(|v| attacked.get(v).as_u64() >= (1 << 40));
+        assert!(forged_seen, "some victim should have absorbed a forged id");
+        // Determinism: the attack replays bit-identically.
+        let replay = RoundSystem::new(&wrapper, &inst)
+            .with_faults(&schedule)
+            .with_adversary(&adversary)
+            .run();
+        assert_eq!(attacked, replay);
     }
 }

@@ -32,6 +32,12 @@
 //!   algorithms against the same candidate instances (the Claim-2
 //!   hard-instance search) plan each candidate once instead of once per
 //!   `(algorithm, candidate)` pair.
+//! * [`RoundPlan`] / [`RoundRunner`] (mod [`round`]) are the same
+//!   plan/runner split over the **round backend** — explicit message
+//!   passing instead of ball extraction — with seeded fault injection
+//!   ([`FaultPlan`](rlnc_core::FaultPlan)) the ball path cannot express.
+//!   Fault-free round executions are proven bit-identical to the engine
+//!   path by `tests/round_equivalence.rs`.
 //!
 //! ## Determinism
 //!
@@ -80,9 +86,11 @@
 pub mod cache;
 pub mod composite;
 pub mod plan;
+pub mod round;
 pub mod runner;
 
 pub use cache::PlanCache;
 pub use composite::{ConstructDecidePlan, GluedPlan, UnionPlan};
 pub use plan::{DecisionScratch, ExecutionPlan};
+pub use round::{RoundPlan, RoundRunner};
 pub use runner::BatchRunner;

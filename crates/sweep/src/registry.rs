@@ -70,6 +70,7 @@ impl Registry {
         registry.insert(ramsey_lift_spec());
         registry.insert(theorem1_pipeline_spec());
         registry.insert(language_matrix_spec());
+        registry.insert(fault_matrix_spec());
         registry
     }
 
@@ -224,6 +225,42 @@ pub fn language_matrix_spec() -> ScenarioSpec {
     }
 }
 
+/// The fault-resilience scenario: every registered language case's
+/// constructor runs through the **round backend** under each
+/// [`FaultPlan`](rlnc_core::FaultPlan) kind (crash-on-start,
+/// crash-at-round, crash-cascade, byzantine-relabel) at two intensities,
+/// then the case's decider judges the corrupted output. The fault axis is
+/// `params.a` (`plan kind × 1000 + intensity‰`, see
+/// [`crate::workload::decode_fault_params`]); the case is `params.b`.
+/// Success tracks the all-nodes-accept rate as faults intensify; the value
+/// channel records the realized faulty-node fraction.
+pub fn fault_matrix_spec() -> ScenarioSpec {
+    let registry = rlnc_langs::registry::CaseRegistry::builtin();
+    let cases = registry.len() as u64;
+    let intensities_permille = [150u64, 350];
+    ScenarioSpec {
+        name: "fault-matrix".into(),
+        description: format!(
+            "fault plans × intensity × the whole language catalog on the round backend: \
+             crash-on-start, crash-at-round, crash-cascade, byzantine-relabel against {} cases ({})",
+            registry.len(),
+            registry.names().join(", ")
+        ),
+        families: vec![Family::Cycle, Family::Circulant2, Family::Prism],
+        sizes: vec![16],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: (0..rlnc_core::FAULT_PLAN_KINDS as u64)
+            .flat_map(|plan| {
+                intensities_permille.iter().flat_map(move |&permille| {
+                    (0..cases).map(move |case| Params::two(plan * 1000 + permille, case))
+                })
+            })
+            .collect(),
+        base_trials: 200,
+        workload: Workload::FaultMatrix,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +372,78 @@ mod tests {
                 .prepare(point, rlnc_par::SeedSequence::new(11).child(point.index));
             let outcome = prepared.run_trial(rlnc_par::SeedSequence::new(11).child(1).child(0));
             assert!((0.0..=1.0).contains(&outcome.value), "case {case}");
+        }
+    }
+
+    #[test]
+    fn fault_matrix_covers_every_plan_intensity_and_case() {
+        let spec = fault_matrix_spec();
+        assert!(spec.validate().is_ok());
+        let case_registry = rlnc_langs::registry::CaseRegistry::builtin();
+        let cases: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.b).collect();
+        assert_eq!(
+            cases.len(),
+            case_registry.len(),
+            "every registered language case must appear on the fault axis"
+        );
+        for name in case_registry.names() {
+            assert!(
+                spec.description.contains(name),
+                "description must surface case '{name}'"
+            );
+        }
+        let plans: std::collections::HashSet<usize> = spec
+            .params
+            .iter()
+            .map(|p| crate::workload::decode_fault_params(p.a).0)
+            .collect();
+        assert_eq!(
+            plans.len(),
+            rlnc_core::FAULT_PLAN_KINDS,
+            "every fault-plan kind must appear on the sweep axis"
+        );
+        let intensities: std::collections::HashSet<u64> =
+            spec.params.iter().map(|p| p.a % 1000).collect();
+        assert!(intensities.len() >= 2, "the intensity axis must be a real grid");
+        assert!(spec.families.len() >= 3, "need several graph families");
+    }
+
+    #[test]
+    fn fault_matrix_smoke_grid_runs_every_plan_kind() {
+        let spec = fault_matrix_spec();
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        for plan in 0..rlnc_core::FAULT_PLAN_KINDS as u64 {
+            let point = grid
+                .iter()
+                .find(|p| crate::workload::decode_fault_params(p.params.a).0 == plan as usize)
+                .expect("a grid point per fault-plan kind");
+            let prepared = spec
+                .workload
+                .prepare(point, rlnc_par::SeedSequence::new(13).child(point.index));
+            let outcome = prepared.run_trial(rlnc_par::SeedSequence::new(13).child(1).child(0));
+            assert!((0.0..=1.0).contains(&outcome.value), "plan {plan}");
+        }
+    }
+
+    #[test]
+    fn fault_matrix_trials_are_bit_reproducible() {
+        // The same (scenario, point, trial) leaf replays byte-identically
+        // no matter how often or in which scratch the trial runs — the
+        // executor's batching/thread freedom rests on this.
+        let spec = fault_matrix_spec();
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        let point = &grid[3];
+        let point_seed =
+            rlnc_par::SeedSequence::new(crate::DEFAULT_SWEEP_SEED).child(point.index);
+        let prepared = spec.workload.prepare(point, point_seed);
+        for trial in 0..4u64 {
+            let seed = point_seed.child(1).child(trial);
+            let mut scratch_a = prepared.scratch();
+            let mut scratch_b = prepared.scratch();
+            let a = prepared.run_trial_with(&mut scratch_a, seed);
+            let b = prepared.run_trial_with(&mut scratch_b, seed);
+            assert_eq!(a, b, "trial {trial} must replay identically");
+            assert_eq!(a, prepared.run_trial(seed));
         }
     }
 

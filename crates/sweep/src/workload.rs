@@ -22,6 +22,7 @@ use rlnc_core::derand::boosting::build_disjoint_union;
 use rlnc_core::derand::gluing::anchor_candidates;
 use rlnc_core::derand::hard_instances::{consecutive_cycle_candidates, HardInstance};
 use rlnc_core::derand::ramsey::OrderInvariantLift;
+use rlnc_core::faults::FaultPlan;
 use rlnc_core::language::DistributedLanguage;
 use rlnc_core::prelude::{
     FnAlgorithm, Instance, IoConfig, Label, Labeling, RandomizedLocalAlgorithm, Simulator, View,
@@ -29,7 +30,7 @@ use rlnc_core::prelude::{
 use rlnc_core::relaxation::EpsilonSlack;
 use rlnc_core::resilient::{theoretical_acceptance, ResilientDecider};
 use rlnc_derand::{CaseId, DerandPipeline, PipelineCase};
-use rlnc_engine::{DecisionScratch, ExecutionPlan, GluedPlan, PlanCache, UnionPlan};
+use rlnc_engine::{DecisionScratch, ExecutionPlan, GluedPlan, PlanCache, RoundPlan, UnionPlan};
 use rlnc_graph::generators::{cycle, Family};
 use rlnc_graph::{Graph, IdAssignment, NodeId};
 use rlnc_langs::coloring::{improperly_colored_nodes, GlobalGreedyColoring, ProperColoring};
@@ -130,6 +131,25 @@ pub enum Workload {
     /// `params.b < 3` the trial streams are bit-identical to
     /// `Theorem1Pipeline`'s. Requires a connected regular family.
     LanguagePipeline,
+    /// The **fault matrix**: one registry case's constructor runs through
+    /// the round backend ([`RoundPlan`]) under a seeded
+    /// [`FaultPlan`] — crashes, crash cascades, or
+    /// Byzantine identity relabeling — and the case's decider then judges
+    /// the (possibly corrupted) output on the fault-free engine path.
+    /// `params.a` encodes the fault axis as
+    /// `plan_kind × 1000 + intensity‰` (see
+    /// [`decode_fault_params`]); `params.b` selects the case via
+    /// [`CaseId::from_index`]. A trial succeeds iff every node accepts;
+    /// the trial value is the schedule's realized faulty-node fraction.
+    /// Requires a connected regular family.
+    FaultMatrix,
+}
+
+/// Decodes the fault-matrix `params.a` axis: the thousands digit group
+/// selects the [`FaultPlan`] kind and the low three
+/// digits its intensity in permille (`2_250` → kind 2 at intensity 0.25).
+pub fn decode_fault_params(a: u64) -> (usize, f64) {
+    ((a / 1000) as usize, (a % 1000) as f64 / 1000.0)
 }
 
 impl Workload {
@@ -143,6 +163,7 @@ impl Workload {
             Workload::RamseyLift { .. } => "ramsey-lift",
             Workload::Theorem1Pipeline => "theorem1-pipeline",
             Workload::LanguagePipeline => "language-pipeline",
+            Workload::FaultMatrix => "fault-matrix",
         }
     }
 
@@ -163,7 +184,7 @@ impl Workload {
                     ))
                 }
             }
-            Workload::Theorem1Pipeline | Workload::LanguagePipeline => {
+            Workload::Theorem1Pipeline | Workload::LanguagePipeline | Workload::FaultMatrix => {
                 if matches!(
                     family,
                     Family::Cycle | Family::Circulant2 | Family::Prism | Family::Torus
@@ -195,7 +216,9 @@ impl Workload {
             | Workload::GluedDecay { cycle_size, .. } => *cycle_size,
             // The pipeline's hard-instance candidates need room for anchors
             // pairwise 2(t + t') apart and a usable Ramsey probe.
-            Workload::Theorem1Pipeline | Workload::LanguagePipeline => n.max(12),
+            Workload::Theorem1Pipeline | Workload::LanguagePipeline | Workload::FaultMatrix => {
+                n.max(12)
+            }
             Workload::RamseyLift { .. } => n.max(8),
             Workload::SlackColoring { .. } => n,
         }
@@ -221,7 +244,8 @@ impl Workload {
             | Workload::GluedDecay { .. }
             | Workload::RamseyLift { .. }
             | Workload::Theorem1Pipeline
-            | Workload::LanguagePipeline => 0,
+            | Workload::LanguagePipeline
+            | Workload::FaultMatrix => 0,
         }
     }
 
@@ -385,6 +409,30 @@ impl Workload {
                 &mut prep_rng,
                 point_seed,
             ),
+            Workload::FaultMatrix => {
+                let (plan_kind, intensity) = decode_fault_params(point.params.a);
+                let case = CaseId::from_index(point.params.b).case();
+                // One candidate instance per grid point, in the case's own
+                // convention (candidate family, inputs); identities follow
+                // the grid's scheme. Everything fixed across trials is
+                // planned once: the round backend's delivery topology and
+                // the decider's cached views.
+                let family = case.candidate_family(point.family);
+                let graph = family.generate(point.n, &mut prep_rng);
+                let ids = point.id_scheme.build(&graph, &mut prep_rng);
+                let input = case.build_input(&graph, &ids);
+                let instance = Instance::new(&graph, &input, &ids);
+                let round_plan = RoundPlan::for_instance(&instance, case.constructor_radius());
+                let decision_plan =
+                    ExecutionPlan::for_instance(&instance, case.checking_radius());
+                Prepared::FaultMatrix {
+                    constructor: case.constructor,
+                    decider: case.decider,
+                    fault_plan: FaultPlan::from_index(plan_kind, intensity),
+                    round_plan,
+                    decision_plan,
+                }
+            }
         }
     }
 }
@@ -565,6 +613,23 @@ pub enum Prepared {
         /// The planned Claims-4/5 gluing.
         glued: GluedPlan,
     },
+    /// Fault matrix: the candidate instance is fixed per grid point, so
+    /// the round backend's topology and the decider's cached views are
+    /// planned once; a trial materializes a fault schedule, constructs
+    /// through the (faulty) round backend, and decides on the engine path.
+    FaultMatrix {
+        /// The case's randomized constructor.
+        constructor: Box<dyn RandomizedLocalAlgorithm>,
+        /// The case's randomized decider.
+        decider: Box<dyn RandomizedDecider>,
+        /// The declarative fault axis this grid point injects.
+        fault_plan: FaultPlan,
+        /// The planned round-backend instance (constructor radius).
+        round_plan: RoundPlan,
+        /// Cached decision views (checking radius) whose outputs a
+        /// [`DecisionScratch`] refreshes per trial.
+        decision_plan: ExecutionPlan,
+    },
 }
 
 /// Reusable per-batch state for [`Prepared::run_trial_with`]: holds the
@@ -586,7 +651,8 @@ impl Prepared {
             union: None,
         };
         match self {
-            Prepared::Boosting { decision_plan, .. } => {
+            Prepared::Boosting { decision_plan, .. }
+            | Prepared::FaultMatrix { decision_plan, .. } => {
                 scratch.decision = Some(decision_plan.decision_scratch());
             }
             Prepared::Glued { plan, .. } => {
@@ -778,6 +844,34 @@ impl Prepared {
                 TrialOutcome {
                     success: glued_far,
                     value: f64::from(u8::from(union_accept)),
+                }
+            }
+            Prepared::FaultMatrix {
+                constructor,
+                decider,
+                fault_plan,
+                round_plan,
+                decision_plan,
+            } => {
+                // Trial seed discipline: child(0) materializes the fault
+                // schedule, child(1) drives the constructor's coins through
+                // the round backend, child(2) the decider's — so the same
+                // trial replays byte-identically whatever the batching.
+                let schedule = fault_plan.schedule(round_plan.graph(), seed.child(0));
+                let out = round_plan.run_with_faults(&**constructor, seed.child(1), &schedule);
+                let decision = scratch
+                    .decision
+                    .get_or_insert_with(|| decision_plan.decision_scratch());
+                assert_eq!(
+                    decision.plan_id(),
+                    decision_plan.id(),
+                    "TrialScratch does not belong to this grid point (build it \
+                     with this Prepared's scratch())"
+                );
+                let accept = decision.decide_randomized(&**decider, &out, seed.child(2));
+                TrialOutcome {
+                    success: accept,
+                    value: schedule.faulty_fraction(),
                 }
             }
         }
