@@ -31,7 +31,18 @@
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rlnc_graph::{Graph, NodeId};
+use rlnc_obs::{LazyCounter, Section};
 use rlnc_par::rng::SeedSequence;
+
+// Fault materializations are drawn from the `(scenario, point, trial)`
+// seed tree, so their totals over a fixed trial set are schedule-invariant
+// — deterministic section.
+static OBS_SCHEDULES: LazyCounter =
+    LazyCounter::new("core.faults.schedules", Section::Deterministic);
+static OBS_CRASHED: LazyCounter =
+    LazyCounter::new("core.faults.crashed_nodes", Section::Deterministic);
+static OBS_BYZANTINE: LazyCounter =
+    LazyCounter::new("core.faults.byzantine_nodes", Section::Deterministic);
 
 /// Seed-tree branch for cascade edge coins (disjoint from the per-node
 /// branches, which are below `2^32`).
@@ -198,6 +209,14 @@ impl FaultPlan {
                     *flag = node_coin(v, probability);
                 }
             }
+        }
+        // Realized-fault accounting: how many crashes/Byzantine nodes this
+        // materialization actually planted (a function of plan + graph +
+        // seed, so deterministic-section eligible).
+        if rlnc_obs::enabled() {
+            OBS_SCHEDULES.inc();
+            OBS_CRASHED.add(crash_round.iter().filter(|r| r.is_some()).count() as u64);
+            OBS_BYZANTINE.add(byzantine.iter().filter(|&&b| b).count() as u64);
         }
         FaultSchedule {
             crash_round,

@@ -42,7 +42,23 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use rlnc_graph::{Ball, Graph, GraphBuilder, IdAssignment, NodeId};
+use rlnc_obs::{LazyCounter, LazyHistogram, Section, POW2_BUCKETS};
 use std::borrow::Cow;
+
+// Round-backend observability. Message counts are functions of the
+// algorithm, graph, and fault schedule alone (each trial's rounds run
+// deterministically), so totals over a fixed trial set are invariant
+// across thread schedules and batch sizes — deterministic section.
+static OBS_STEPS: LazyCounter = LazyCounter::new("core.rounds.steps", Section::Deterministic);
+static OBS_DELIVERED: LazyCounter =
+    LazyCounter::new("core.rounds.messages_delivered", Section::Deterministic);
+static OBS_DROPPED: LazyCounter =
+    LazyCounter::new("core.rounds.messages_dropped", Section::Deterministic);
+static OBS_PER_ROUND: LazyHistogram = LazyHistogram::new(
+    "core.rounds.delivered_per_round",
+    Section::Deterministic,
+    &POW2_BUCKETS,
+);
 
 /// Per-node initialization data: what a node knows before round 1.
 #[derive(Debug, Clone)]
@@ -309,6 +325,20 @@ impl<'a, M: MessagePassingAlgorithm> RoundSystem<'a, M> {
         } else {
             (0..n).map(send_one).collect()
         };
+
+        // Per-round message-delivery accounting: messages put on wires by
+        // live senders vs ports silenced by the fault schedule.
+        if rlnc_obs::enabled() {
+            let delivered: u64 = outgoing
+                .iter()
+                .filter_map(|o| o.as_ref().map(|m| m.len() as u64))
+                .sum();
+            let total_ports = graph.degree_sum() as u64;
+            OBS_STEPS.inc();
+            OBS_DELIVERED.add(delivered);
+            OBS_DROPPED.add(total_ports.saturating_sub(delivered));
+            OBS_PER_ROUND.observe(delivered);
+        }
 
         // Phase 2 + 3: deliver and update. Fault-free executions call
         // `receive` with a plain slice (bit-identical to the historical

@@ -181,6 +181,32 @@ impl View {
         }
     }
 
+    /// Approximate heap bytes held by this view: ball membership and
+    /// distances, the induced CSR adjacency, identities, and the
+    /// input/output label bytes. The per-view term of the engine's
+    /// `working_set_bytes` cache-behavior proxy exported by `bench-export`
+    /// and the observability layer.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let label_bytes = |labels: &[Label]| -> usize {
+            labels
+                .iter()
+                .map(|l| size_of::<Label>() + l.as_bytes().len())
+                .sum()
+        };
+        let ball_graph = (self.ball.graph.node_count() + 1) * size_of::<u32>()
+            + 2 * self.ball.graph.edge_count() * size_of::<u32>();
+        let mut total = self.ball.members.len() * size_of::<NodeId>()
+            + self.ball.distances.len() * size_of::<u32>()
+            + ball_graph
+            + self.ids.len() * size_of::<u64>()
+            + label_bytes(&self.inputs);
+        if let Some(outs) = &self.outputs {
+            total += label_bytes(outs);
+        }
+        total as u64
+    }
+
     /// Number of nodes visible in the view.
     pub fn len(&self) -> usize {
         self.ball.len()

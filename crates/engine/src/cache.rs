@@ -21,8 +21,16 @@
 
 use crate::plan::ExecutionPlan;
 use rlnc_core::config::Instance;
+use rlnc_obs::{LazyCounter, Section};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+// Hit/miss totals are order-invariant for a fixed multiset of lookups
+// (misses = distinct fingerprints), so they qualify for the deterministic
+// trace section.
+static OBS_HITS: LazyCounter = LazyCounter::new("engine.plan_cache.hits", Section::Deterministic);
+static OBS_MISSES: LazyCounter =
+    LazyCounter::new("engine.plan_cache.misses", Section::Deterministic);
 
 /// Memoizes [`ExecutionPlan`]s by instance-content fingerprint.
 #[derive(Debug, Default)]
@@ -73,10 +81,12 @@ impl PlanCache {
         match self.plans.entry(key) {
             Entry::Occupied(entry) => {
                 self.hits += 1;
+                OBS_HITS.inc();
                 entry.into_mut()
             }
             Entry::Vacant(entry) => {
                 self.misses += 1;
+                OBS_MISSES.inc();
                 entry.insert(ExecutionPlan::for_instance(instance, radius))
             }
         }

@@ -14,11 +14,20 @@ use rlnc_core::decision::RandomizedDecider;
 use rlnc_core::labels::Labeling;
 use rlnc_core::view::View;
 use rlnc_graph::IdAssignment;
+use rlnc_obs::{LazyCounter, LazySpan, Section};
 use rlnc_par::rng::SeedSequence;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic source of plan identities (see [`ExecutionPlan::id`]).
 static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+// Plans built and decisions taken are functions of the requested work —
+// deterministic; the build span is wall-clock — timing.
+static OBS_PLANS_BUILT: LazyCounter =
+    LazyCounter::new("engine.plans_built", Section::Deterministic);
+static OBS_DECISIONS: LazyCounter =
+    LazyCounter::new("engine.scratch.decisions", Section::Deterministic);
+static OBS_PLAN_SPAN: LazySpan = LazySpan::new("engine.plan.build");
 
 /// The cached views of every node of one fixed instance (or input-output
 /// configuration) at one radius.
@@ -53,6 +62,8 @@ impl ExecutionPlan {
     }
 
     fn from_views(views: Vec<View>, radius: u32, has_outputs: bool) -> ExecutionPlan {
+        let _span = OBS_PLAN_SPAN.start();
+        OBS_PLANS_BUILT.inc();
         let work_per_execution = views.iter().map(View::len).sum();
         ExecutionPlan {
             id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
@@ -91,6 +102,14 @@ impl ExecutionPlan {
     /// `work_per_execution × trials` to decide parallel vs sequential.
     pub fn work_per_execution(&self) -> usize {
         self.work_per_execution
+    }
+
+    /// Approximate heap bytes of the cached views — the working set one
+    /// execution pass touches. This is the cache-behavior proxy recorded
+    /// per group in `bench-export` (`working_set_bytes`) alongside the
+    /// arena-level `graph.arena.working_set_bytes` gauge.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.views.iter().map(View::memory_bytes).sum()
     }
 
     /// Returns `true` if the cached views carry output labels (a decision
@@ -204,6 +223,7 @@ impl DecisionScratch {
             decider.radius(),
             self.radius
         );
+        OBS_DECISIONS.inc();
         let coins = Coins::new(execution_seed);
         self.views.iter_mut().all(|view| {
             view.refresh_outputs(output);
@@ -232,6 +252,7 @@ impl DecisionScratch {
             decider.radius(),
             self.radius
         );
+        OBS_DECISIONS.inc();
         let coins = Coins::new(execution_seed);
         nodes.iter().all(|&i| {
             let view = &mut self.views[i];

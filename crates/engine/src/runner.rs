@@ -16,12 +16,39 @@ use rlnc_core::labels::Labeling;
 use rlnc_graph::NodeId;
 use rlnc_par::rng::SeedSequence;
 use rlnc_par::stats::Estimate;
+use rlnc_obs::{LazyCounter, Section};
 use rlnc_par::sweep::{balanced_ranges, sweep, sweep_sequential};
 use std::ops::Range;
 
 /// Total `plan size × trial count` work below which a batch runs
 /// sequentially (the fan-out bookkeeping would dominate).
 const PARALLEL_WORK_THRESHOLD: u64 = 1 << 14;
+
+// Trials executed are a function of the requested batch alone —
+// deterministic. Pass counts depend on the block-size knob, and the
+// parallel/sequential split on core count and nesting context, so those
+// stay in the timing section.
+static OBS_TRIALS: LazyCounter = LazyCounter::new("engine.batch.trials", Section::Deterministic);
+static OBS_BLOCKED_PASSES: LazyCounter =
+    LazyCounter::new("engine.batch.blocked_passes", Section::Timing);
+static OBS_PARALLEL_PASSES: LazyCounter =
+    LazyCounter::new("engine.batch.parallel_passes", Section::Timing);
+static OBS_SEQUENTIAL_PASSES: LazyCounter =
+    LazyCounter::new("engine.batch.sequential_passes", Section::Timing);
+
+/// Records one batched pass over `trials` trials into the registry.
+fn record_batch_pass(trials: u64, parallel: bool) {
+    if !rlnc_obs::enabled() {
+        return;
+    }
+    OBS_TRIALS.add(trials);
+    OBS_BLOCKED_PASSES.inc();
+    if parallel {
+        OBS_PARALLEL_PASSES.inc();
+    } else {
+        OBS_SEQUENTIAL_PASSES.inc();
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -113,7 +140,9 @@ impl BatchRunner {
     {
         let chunks = (trials as usize).div_ceil(self.block as usize).max(1);
         let ranges = balanced_ranges(trials as usize, chunks);
-        if self.parallel_for_work(total_work, trials) {
+        let parallel = self.parallel_for_work(total_work, trials);
+        record_batch_pass(trials, parallel);
+        if parallel {
             sweep(ranges, f)
         } else {
             sweep_sequential(ranges, f)
@@ -209,7 +238,9 @@ impl BatchRunner {
         );
         let chunks = seeds.len().div_ceil(self.block as usize).max(1);
         let ranges = balanced_ranges(seeds.len(), chunks);
-        let nested: Vec<Vec<T>> = if self.parallel_trials(plan, seeds.len() as u64) {
+        let parallel = self.parallel_trials(plan, seeds.len() as u64);
+        record_batch_pass(seeds.len() as u64, parallel);
+        let nested: Vec<Vec<T>> = if parallel {
             sweep(ranges, run_block)
         } else {
             sweep_sequential(ranges, run_block)
@@ -263,7 +294,9 @@ impl BatchRunner {
         };
         let chunks = (trials as usize).div_ceil(self.block as usize).max(1);
         let ranges = balanced_ranges(trials as usize, chunks);
-        let counts: Vec<u64> = if self.parallel_trials(plan, trials) {
+        let parallel = self.parallel_trials(plan, trials);
+        record_batch_pass(trials, parallel);
+        let counts: Vec<u64> = if parallel {
             sweep(ranges, run_block)
         } else {
             sweep_sequential(ranges, run_block)

@@ -283,6 +283,52 @@ fn parity_decider() -> FnRandomizedDecider<impl Fn(&View, &Coins) -> bool + Sync
     })
 }
 
+/// With the counting allocator installed, the engine's per-trial decision
+/// loop — the hot path every Monte-Carlo estimate spins on — must perform
+/// zero heap allocations, *with observability enabled*. This pins the
+/// obs cost model: resolved counter handles are plain atomic adds.
+#[cfg(feature = "count-alloc")]
+#[test]
+fn instrumented_decision_loop_does_not_allocate() {
+    use rlnc_core::decision::FnRandomizedDecider;
+    use rlnc_obs::alloc_counter::allocations;
+
+    let (graph, input, ids) = instance_parts(Family::Cycle, 24, 3);
+    let output = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0) % 2));
+    let instance = Instance::new(&graph, &input, &ids);
+    let plan = ExecutionPlan::for_instance(&instance, 1);
+    let mut scratch = plan.decision_scratch();
+    let decider = FnRandomizedDecider::new(1, "coin-parity", |view: &View, coins: &Coins| {
+        let mine = view.output(view.center_local()).as_u64();
+        coins.for_center(view).random::<u64>().wrapping_add(mine) % 3 != 0
+    });
+
+    rlnc_obs::set_enabled(true);
+    let root = SeedSequence::new(11);
+    // Warm-up: interns the obs cells and materializes every view's output
+    // buffer. The always-accept pass matters — `decide_randomized`
+    // short-circuits on the first rejecting node, so a rejecting warm-up
+    // trial would leave deeper views untouched and their first real
+    // refresh would allocate mid-measurement.
+    let accept_all = FnRandomizedDecider::new(1, "accept-all", |_: &View, _: &Coins| true);
+    scratch.decide_randomized(&accept_all, &output, root.child(0));
+    for trial in 0..8u64 {
+        scratch.decide_randomized(&decider, &output, root.child(trial));
+    }
+    let before = allocations();
+    for trial in 8..1008u64 {
+        scratch.decide_randomized(&decider, &output, root.child(trial));
+    }
+    let after = allocations();
+    rlnc_obs::set_enabled(false);
+    assert_eq!(
+        after - before,
+        0,
+        "instrumented decision loop allocated {} times over 1000 trials",
+        after - before
+    );
+}
+
 /// Pinned seed-0 regression: the exact seed the E6/E7 drivers run at.
 #[test]
 fn union_and_glued_kernels_match_legacy_at_seed_zero() {

@@ -1,102 +1,20 @@
-//! A counting global allocator (behind the `count-alloc` feature): the
-//! peak-allocation proxy of the perf trajectory.
+//! Compatibility shim: the counting global allocator now lives in
+//! [`rlnc_obs::alloc_counter`].
 //!
-//! `BENCH_*.json` used to record wall time only, so memory-behavior
-//! regressions were invisible until they dominated runtime. With this
-//! feature enabled, every allocation through the global allocator bumps a
-//! relaxed atomic counter and a live-bytes gauge (with a peak watermark),
-//! letting `bench-export`:
-//!
-//! * record allocation counts per measured pass alongside nanoseconds, and
-//! * **assert** the acceptance criterion of the language-layer refactor —
-//!   view-native `is_bad_view` verdicts perform *zero* heap allocations.
-//!
-//! The counters use `Ordering::Relaxed`: they are statistics, not
-//! synchronization, and the measured loops are single-threaded.
+//! PR 7 promoted the allocator from this crate into `rlnc-obs` so that
+//! *every* layer (not just the bench harness) can assert allocation-free
+//! hot loops. Existing callers — `bench-export`, the CI count-alloc suite,
+//! external scripts importing `rlnc_experiments::alloc_counter` — keep
+//! working unchanged through this re-export. Exactly one
+//! `#[global_allocator]` exists workspace-wide, inside `rlnc-obs`;
+//! enabling this crate's `count-alloc` feature forwards to
+//! `rlnc-obs/count-alloc`.
 
-#![allow(unsafe_code)]
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static CURRENT_BYTES: AtomicUsize = AtomicUsize::new(0);
-static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
-
-/// The counting allocator: delegates to [`System`], counting on the way.
-pub struct CountingAllocator;
-
-#[global_allocator]
-static GLOBAL: CountingAllocator = CountingAllocator;
-
-fn record_alloc(size: usize) {
-    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-    let live = CURRENT_BYTES.fetch_add(size, Ordering::Relaxed) + size;
-    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-}
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = unsafe { System.alloc(layout) };
-        if !ptr.is_null() {
-            record_alloc(layout.size());
-        }
-        ptr
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) };
-        CURRENT_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
-        if !new_ptr.is_null() {
-            // Count a grow/shrink as one allocation event and move the
-            // live-bytes gauge by the delta.
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-            if new_size >= layout.size() {
-                let live =
-                    CURRENT_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed)
-                        + (new_size - layout.size());
-                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-            } else {
-                CURRENT_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-            }
-        }
-        new_ptr
-    }
-}
-
-/// Total number of allocation events since process start.
-pub fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
-
-/// Live heap bytes currently tracked.
-pub fn current_bytes() -> usize {
-    CURRENT_BYTES.load(Ordering::Relaxed)
-}
-
-/// The high-water mark of live heap bytes — the peak-allocation proxy
-/// recorded in `BENCH_*.json`.
-pub fn peak_bytes() -> usize {
-    PEAK_BYTES.load(Ordering::Relaxed)
-}
+pub use rlnc_obs::alloc_counter::*;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn allocations_are_counted() {
-        let before = allocations();
-        let v: Vec<u64> = (0..1024).collect();
-        assert!(v.len() == 1024);
-        assert!(allocations() > before, "a fresh Vec must be counted");
-        assert!(peak_bytes() >= 1024 * 8);
-        assert!(current_bytes() > 0);
-    }
 
     #[test]
     fn view_native_verdicts_do_not_allocate() {
@@ -108,7 +26,9 @@ mod tests {
 
         // The acceptance criterion of the language-layer refactor: for
         // every registered LCL case, the view-native verdict path performs
-        // zero heap allocations once the decision views exist.
+        // zero heap allocations once the decision views exist. This test
+        // lives here (not in rlnc-obs, which owns the allocator) because
+        // it needs the language and view layers.
         let registry = CaseRegistry::builtin();
         for id in registry.ids() {
             let case = id.case();

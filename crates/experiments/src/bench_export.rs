@@ -70,7 +70,7 @@ use rlnc_sweep::workload::planted_cycle_configuration;
 use std::time::Instant;
 
 /// One engine-vs-legacy measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchGroup {
     /// Group name (stable across PRs, so trajectories can be joined).
     pub name: String,
@@ -86,6 +86,14 @@ pub struct BenchGroup {
     pub legacy_allocs: Option<u64>,
     /// Allocation events of one engine pass (present with `count-alloc`).
     pub engine_allocs: Option<u64>,
+    /// Approximate heap bytes of the engine path's cached state (plan /
+    /// arena) — the deterministic cache-behavior proxy of the trajectory.
+    pub working_set_bytes: u64,
+    /// Deterministic-section `rlnc-obs` counter deltas of one engine pass
+    /// (sorted by name, zero counters dropped): what work the pass did —
+    /// trials run, balls extracted, decisions taken — independent of
+    /// schedule and wall clock.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl BenchGroup {
@@ -96,7 +104,7 @@ impl BenchGroup {
 }
 
 /// A full export: the groups plus the mode they ran at.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchExport {
     /// `true` for the CI-friendly quick mode (smaller sizes, fewer reps).
     pub quick: bool,
@@ -121,6 +129,25 @@ fn count_allocs<F: FnMut()>(mut f: F) -> Option<u64> {
         let _ = &mut f;
         None
     }
+}
+
+/// Deterministic-section counter deltas of one `f()` call, captured via
+/// the process-global `rlnc-obs` registry. The registry is reset first, so
+/// the result is exactly what `f` did; gauges, histograms, and spans are
+/// dropped (the per-group export keeps the schema flat).
+fn obs_counters<F: FnMut()>(mut f: F) -> Vec<(String, u64)> {
+    rlnc_obs::reset();
+    rlnc_obs::set_enabled(true);
+    f();
+    rlnc_obs::set_enabled(false);
+    let doc = rlnc_obs::snapshot();
+    doc.deterministic
+        .iter()
+        .filter_map(|(name, value)| match value {
+            rlnc_obs::MetricValue::Counter(c) if *c > 0 => Some((name.to_string(), *c)),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Best-of-`reps` wall time of `f`, with one untimed warm-up pass.
@@ -156,6 +183,12 @@ fn ring_monte_carlo(quick: bool) -> BenchGroup {
         let est = BatchRunner::sequential().estimate(&algo, &plan, trials, 7, success);
         assert!(est.p_hat >= 0.0);
     });
+    let plan = ExecutionPlan::for_instance(&instance, 0);
+    let working_set_bytes = plan.working_set_bytes();
+    let counters = obs_counters(|| {
+        let est = BatchRunner::sequential().estimate(&algo, &plan, trials, 7, success);
+        assert!(est.p_hat >= 0.0);
+    });
     BenchGroup {
         name: "ring-monte-carlo".into(),
         n,
@@ -164,6 +197,8 @@ fn ring_monte_carlo(quick: bool) -> BenchGroup {
         engine_ns,
         legacy_allocs: None,
         engine_allocs: None,
+        working_set_bytes,
+        counters,
     }
 }
 
@@ -186,6 +221,12 @@ fn resilient_decider(quick: bool) -> BenchGroup {
         let est = BatchRunner::sequential().acceptance(&decider, &plan, trials, 11);
         assert!(est.p_hat >= 0.0);
     });
+    let plan = ExecutionPlan::for_io(&io, &ids, 1);
+    let working_set_bytes = plan.working_set_bytes();
+    let counters = obs_counters(|| {
+        let est = BatchRunner::sequential().acceptance(&decider, &plan, trials, 11);
+        assert!(est.p_hat >= 0.0);
+    });
     BenchGroup {
         name: "resilient-decider".into(),
         n,
@@ -194,6 +235,8 @@ fn resilient_decider(quick: bool) -> BenchGroup {
         engine_ns,
         legacy_allocs: None,
         engine_allocs: None,
+        working_set_bytes,
+        counters,
     }
 }
 
@@ -211,6 +254,11 @@ fn ball_extraction(quick: bool) -> BenchGroup {
         let arena = BallArena::extract_all(&graph, radius);
         assert_eq!(arena.total_members(), n * (2 * radius as usize + 1));
     });
+    let working_set_bytes = BallArena::extract_all(&graph, radius).working_set_bytes();
+    let counters = obs_counters(|| {
+        let arena = BallArena::extract_all(&graph, radius);
+        assert_eq!(arena.total_members(), n * (2 * radius as usize + 1));
+    });
     BenchGroup {
         name: "ball-extraction-r8".into(),
         n,
@@ -219,6 +267,8 @@ fn ball_extraction(quick: bool) -> BenchGroup {
         engine_ns,
         legacy_allocs: None,
         engine_allocs: None,
+        working_set_bytes,
+        counters,
     }
 }
 
@@ -249,6 +299,13 @@ fn boosted_union_acceptance(quick: bool) -> BenchGroup {
         legacy_successes, engine_successes,
         "union kernel must be bit-identical to the legacy estimator"
     );
+    let parts: Vec<_> = hard.iter().map(|h| (&h.graph, &h.input, &h.ids)).collect();
+    let union = UnionPlan::for_parts(&parts, nu, 0, 1);
+    let working_set_bytes = union.plan().working_set_bytes();
+    let counters = obs_counters(|| {
+        let est = BatchRunner::new().union_acceptance(&union, &constructor, &decider, trials, 7);
+        assert_eq!(est.successes, engine_successes);
+    });
     BenchGroup {
         name: "boosted-union-acceptance".into(),
         n: cycle_size * nu,
@@ -257,6 +314,8 @@ fn boosted_union_acceptance(quick: bool) -> BenchGroup {
         engine_ns,
         legacy_allocs: None,
         engine_allocs: None,
+        working_set_bytes,
+        counters,
     }
 }
 
@@ -296,6 +355,12 @@ fn glued_acceptance(quick: bool) -> BenchGroup {
         legacy_successes, engine_successes,
         "glued kernel must be bit-identical to the legacy estimator"
     );
+    let stage = pipeline.glued_stage(build_parts(), anchors_of(&build_parts()));
+    let working_set_bytes = stage.plan.plan().working_set_bytes();
+    let counters = obs_counters(|| {
+        let est = pipeline.glued_far_acceptance(&stage, trials, 11);
+        assert_eq!(est.successes, engine_successes);
+    });
     BenchGroup {
         name: "glued-acceptance".into(),
         n: cycle_size * nu + 2 * nu,
@@ -304,6 +369,8 @@ fn glued_acceptance(quick: bool) -> BenchGroup {
         engine_ns,
         legacy_allocs: None,
         engine_allocs: None,
+        working_set_bytes,
+        counters,
     }
 }
 
@@ -388,6 +455,10 @@ fn lcl_verdict_group(
             case.name
         );
     }
+    let working_set_bytes: u64 = views.iter().map(|v| v.memory_bytes()).sum();
+    let counters = obs_counters(|| {
+        let _ = engine_pass();
+    });
     Some(BenchGroup {
         name: format!("lcl-verdicts-{}", case.name),
         n,
@@ -396,6 +467,8 @@ fn lcl_verdict_group(
         engine_ns,
         legacy_allocs,
         engine_allocs,
+        working_set_bytes,
+        counters,
     })
 }
 
@@ -430,30 +503,42 @@ pub fn run(quick: bool) -> BenchExport {
 
 /// Serializes an export as deterministic-schema JSON (hand-rolled; the
 /// vendored serde is a no-op stub — same convention as `rlnc-sweep::emit`).
-/// Allocation fields appear only when the export was produced with the
-/// `count-alloc` feature.
+///
+/// Every field is always present: allocation fields and
+/// `peak_alloc_bytes` are an explicit `null` when the export was produced
+/// without the `count-alloc` feature, so downstream parsers (and
+/// `bench-gate`) never have to guess whether a column was measured or
+/// merely omitted.
 pub fn to_json(export: &BenchExport) -> String {
+    let opt_u64 = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rlnc-bench-export-v1\",\n");
+    out.push_str("  \"schema\": \"rlnc-bench-export-v2\",\n");
     out.push_str("  \"bench\": \"engine-vs-legacy\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if export.quick { "quick" } else { "full" }
     ));
-    if let Some(peak) = export.peak_alloc_bytes {
-        out.push_str(&format!("  \"peak_alloc_bytes\": {peak},\n"));
-    }
+    out.push_str(&format!(
+        "  \"peak_alloc_bytes\": {},\n",
+        opt_u64(export.peak_alloc_bytes)
+    ));
     out.push_str("  \"groups\": [\n");
     for (i, g) in export.groups.iter().enumerate() {
-        let allocs = match (g.legacy_allocs, g.engine_allocs) {
-            (Some(l), Some(e)) => format!(",\"legacy_allocs\":{l},\"engine_allocs\":{e}"),
-            _ => String::new(),
-        };
+        let mut counters = String::from("{");
+        for (j, (name, value)) in g.counters.iter().enumerate() {
+            if j > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&format!("\"{name}\":{value}"));
+        }
+        counters.push('}');
         out.push_str(&format!(
             concat!(
                 "    {{\"name\":\"{}\",\"n\":{},\"trials\":{},",
-                "\"legacy_ns\":{},\"engine_ns\":{},\"speedup\":{:.2}{}}}{}\n"
+                "\"legacy_ns\":{},\"engine_ns\":{},\"speedup\":{:.2},",
+                "\"working_set_bytes\":{},\"counters\":{},",
+                "\"legacy_allocs\":{},\"engine_allocs\":{}}}{}\n"
             ),
             g.name,
             g.n,
@@ -461,12 +546,76 @@ pub fn to_json(export: &BenchExport) -> String {
             g.legacy_ns,
             g.engine_ns,
             g.speedup(),
-            allocs,
+            g.working_set_bytes,
+            counters,
+            opt_u64(g.legacy_allocs),
+            opt_u64(g.engine_allocs),
             if i + 1 < export.groups.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Parses a `bench-export` JSON document back into a [`BenchExport`].
+///
+/// Accepts both the current `rlnc-bench-export-v2` schema and the v1
+/// files committed by earlier PRs (`BENCH_4.json`, `BENCH_5.json`), where
+/// `working_set_bytes`/`counters` are absent (parsed as `0`/empty) and
+/// allocation fields are omitted rather than `null`. This is what
+/// `bench-gate` loads its baseline through.
+pub fn from_json(text: &str) -> Result<BenchExport, String> {
+    use rlnc_sweep::emit::json;
+
+    let opt_u64 = |fields: &[(String, json::Value)],
+                   key: &str,
+                   what: &str|
+     -> Result<Option<u64>, String> {
+        match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            None | Some(json::Value::Null) => Ok(None),
+            Some(v) => v.as_u64(what).map(Some),
+        }
+    };
+
+    let value = json::parse(text)?;
+    let obj = value.as_object("top level")?;
+    let schema = json::get(obj, "schema")?.as_string("schema")?;
+    if schema != "rlnc-bench-export-v2" && schema != "rlnc-bench-export-v1" {
+        return Err(format!("unsupported bench schema '{schema}'"));
+    }
+    let quick = match json::get(obj, "mode")?.as_string("mode")?.as_str() {
+        "quick" => true,
+        "full" => false,
+        other => return Err(format!("mode: expected quick|full, got '{other}'")),
+    };
+    let peak_alloc_bytes = opt_u64(obj, "peak_alloc_bytes", "peak_alloc_bytes")?;
+    let mut groups = Vec::new();
+    for (i, gv) in json::get(obj, "groups")?.as_array("groups")?.iter().enumerate() {
+        let g = gv.as_object(&format!("groups[{i}]"))?;
+        let mut counters = Vec::new();
+        if let Some((_, cv)) = g.iter().find(|(k, _)| k == "counters") {
+            for (name, v) in cv.as_object("counters")? {
+                counters.push((name.clone(), v.as_u64(&format!("counters.{name}"))?));
+            }
+        }
+        groups.push(BenchGroup {
+            name: json::get(g, "name")?.as_string("name")?,
+            n: json::get(g, "n")?.as_u64("n")? as usize,
+            trials: json::get(g, "trials")?.as_u64("trials")?,
+            legacy_ns: u128::from(json::get(g, "legacy_ns")?.as_u64("legacy_ns")?),
+            engine_ns: u128::from(json::get(g, "engine_ns")?.as_u64("engine_ns")?),
+            legacy_allocs: opt_u64(g, "legacy_allocs", "legacy_allocs")?,
+            engine_allocs: opt_u64(g, "engine_allocs", "engine_allocs")?,
+            working_set_bytes: opt_u64(g, "working_set_bytes", "working_set_bytes")?
+                .unwrap_or(0),
+            counters,
+        });
+    }
+    Ok(BenchExport {
+        quick,
+        groups,
+        peak_alloc_bytes,
+    })
 }
 
 /// Renders the human-readable summary printed alongside the export.
@@ -482,12 +631,13 @@ pub fn to_summary(export: &BenchExport) -> String {
             _ => String::new(),
         };
         out.push_str(&format!(
-            "  {:<28} n={:<6} legacy {:>12} ns  engine {:>12} ns  speedup {:>6.2}x{}\n",
+            "  {:<28} n={:<6} legacy {:>12} ns  engine {:>12} ns  speedup {:>6.2}x  ws {:>9} B{}\n",
             g.name,
             g.n,
             g.legacy_ns,
             g.engine_ns,
             g.speedup(),
+            g.working_set_bytes,
             allocs
         ));
     }
@@ -515,7 +665,7 @@ mod tests {
             assert!(group.speedup() > 0.0);
         }
         let json = to_json(&export);
-        assert!(json.contains("\"schema\": \"rlnc-bench-export-v1\""));
+        assert!(json.contains("\"schema\": \"rlnc-bench-export-v2\""));
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("ring-monte-carlo"));
         assert!(json.contains("boosted-union-acceptance"));
@@ -526,9 +676,97 @@ mod tests {
         let summary = to_summary(&export);
         assert!(summary.contains("speedup"));
         assert!(summary.contains("lcl-verdicts-min-dominating-set"));
-        // Alloc fields appear exactly when the counting allocator is in.
+        // Alloc fields are always present; they are null exactly when the
+        // counting allocator is compiled out.
         let counted = cfg!(feature = "count-alloc");
-        assert_eq!(json.contains("legacy_allocs"), counted);
+        assert!(json.contains("\"legacy_allocs\":"));
+        // Only the lcl-verdicts groups measure per-pass allocations, so
+        // nulls appear in both builds; *measured* values only when counted.
+        assert_eq!(
+            export.groups.iter().any(|g| g.legacy_allocs.is_some()),
+            counted
+        );
+        assert_eq!(json.contains("\"peak_alloc_bytes\": null"), !counted);
         assert_eq!(export.peak_alloc_bytes.is_some(), counted);
+        // Enrichment: every group carries a working-set proxy, and the
+        // engine groups report what work their pass did.
+        for group in &export.groups {
+            assert!(
+                group.working_set_bytes > 0,
+                "group '{}' has no working-set proxy",
+                group.name
+            );
+        }
+        let ring = export.groups.iter().find(|g| g.name == "ring-monte-carlo").unwrap();
+        assert!(
+            ring.counters.iter().any(|(name, v)| name == "engine.batch.trials" && *v > 0),
+            "ring group counters: {:?}",
+            ring.counters
+        );
+        assert!(ring.counters.windows(2).all(|w| w[0].0 < w[1].0), "counters sorted");
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        // A hand-built export exercises both null and present optionals
+        // without paying for a measurement run.
+        let export = BenchExport {
+            quick: false,
+            peak_alloc_bytes: Some(123_456),
+            groups: vec![
+                BenchGroup {
+                    name: "demo-a".into(),
+                    n: 96,
+                    trials: 500,
+                    legacy_ns: 1_000_000,
+                    engine_ns: 250_000,
+                    legacy_allocs: Some(4_200),
+                    engine_allocs: Some(0),
+                    working_set_bytes: 8_192,
+                    counters: vec![
+                        ("engine.batch.trials".into(), 500),
+                        ("graph.arena.balls".into(), 96),
+                    ],
+                },
+                BenchGroup {
+                    name: "demo-b".into(),
+                    n: 16,
+                    trials: 1,
+                    legacy_ns: 10,
+                    engine_ns: 7,
+                    legacy_allocs: None,
+                    engine_allocs: None,
+                    working_set_bytes: 640,
+                    counters: Vec::new(),
+                },
+            ],
+        };
+        let back = from_json(&to_json(&export)).expect("parse back");
+        assert_eq!(back, export);
+        // And the emit of the parse is byte-identical (full round trip).
+        assert_eq!(to_json(&back), to_json(&export));
+    }
+
+    #[test]
+    fn from_json_accepts_v1_exports_without_enrichment() {
+        // The shape BENCH_4.json / BENCH_5.json were committed in.
+        let v1 = concat!(
+            "{\n",
+            "  \"schema\": \"rlnc-bench-export-v1\",\n",
+            "  \"bench\": \"engine-vs-legacy\",\n",
+            "  \"mode\": \"full\",\n",
+            "  \"groups\": [\n",
+            "    {\"name\":\"ring-monte-carlo\",\"n\":256,\"trials\":1000,",
+            "\"legacy_ns\":5000,\"engine_ns\":1000,\"speedup\":5.00}\n",
+            "  ]\n}\n"
+        );
+        let export = from_json(v1).expect("v1 parses");
+        assert!(!export.quick);
+        assert_eq!(export.peak_alloc_bytes, None);
+        assert_eq!(export.groups.len(), 1);
+        assert_eq!(export.groups[0].legacy_allocs, None);
+        assert_eq!(export.groups[0].working_set_bytes, 0);
+        assert!(export.groups[0].counters.is_empty());
+        assert!(from_json("{\"schema\":\"bogus\"}").is_err());
     }
 }

@@ -23,15 +23,15 @@
 //! table plus a list of [`Finding`]s (paper claim vs measured value), which
 //! the `rlnc-experiments` binary assembles into `EXPERIMENTS.md`.
 
-// The counting allocator needs one `unsafe impl GlobalAlloc`; everything
-// else stays forbidden-unsafe, and without the feature the whole crate is.
-#![cfg_attr(not(feature = "count-alloc"), forbid(unsafe_code))]
-#![cfg_attr(feature = "count-alloc", deny(unsafe_code))]
+// The counting allocator (and its `unsafe impl GlobalAlloc`) moved to
+// `rlnc-obs`; this crate is pure-safe again and re-exports the shim.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(feature = "count-alloc")]
 pub mod alloc_counter;
 pub mod bench_export;
+pub mod bench_gate;
 pub mod e01_amos;
 pub mod e02_slack;
 pub mod e03_cole_vishkin;
@@ -43,6 +43,8 @@ pub mod e08_ramsey;
 pub mod e09_slack_vs_det;
 pub mod e10_equivalence;
 pub mod report;
+pub mod status;
+pub mod trace;
 
 pub use report::{ExperimentReport, Finding, Scale, Table};
 

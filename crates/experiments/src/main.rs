@@ -6,17 +6,27 @@
 //! rlnc-experiments --scale full        # tighter confidence intervals
 //! rlnc-experiments --seed 7 --only e5  # reseeded subset
 //! rlnc-experiments --markdown out.md   # also write a markdown report
+//! rlnc-experiments --trace-out t.json  # export the observability trace
 //!
 //! rlnc-experiments sweep --list-scenarios
 //! rlnc-experiments sweep --scenario smoke --scale smoke --out sweep.json
 //! rlnc-experiments sweep --scenario slack-topologies --csv sweep.csv
+//! rlnc-experiments sweep --scenario fault-matrix --trace-out trace.json
+//! rlnc-experiments sweep --scenario smoke --progress   # per-point stderr lines
 //! rlnc-experiments sweep --check sweep.json   # validate an exported file
 //!
 //! rlnc-experiments bench-export --out BENCH_3.json           # perf trajectory
 //! rlnc-experiments bench-export --quick --out BENCH_ci.json  # CI smoke
+//! rlnc-experiments bench-gate --quick                        # regression gate
 //! ```
+//!
+//! Every subcommand accepts `--quiet`: status lines (`wrote <path>`) go
+//! away, warnings and all stdout output stay.
 
-use rlnc_experiments::{bench_export, parse_experiment_id, run_all_seeded, run_by_id_seeded, ExperimentReport, Scale, EXPERIMENTS};
+use rlnc_experiments::{
+    bench_export, bench_gate, parse_experiment_id, run_all_seeded, run_by_id_seeded, status,
+    trace, ExperimentReport, Scale, EXPERIMENTS,
+};
 use rlnc_sweep::{emit, Registry, SweepExecutor, DEFAULT_SWEEP_SEED};
 use std::io::Write;
 
@@ -48,6 +58,21 @@ fn parse_scale(raw: Option<&String>) -> Scale {
     }
 }
 
+/// Enables metric collection for the rest of the process (the
+/// `--trace-out` flag): counters were registered disabled, so everything
+/// before this call cost one atomic load per sink.
+fn enable_tracing() {
+    rlnc_obs::reset();
+    rlnc_obs::set_enabled(true);
+}
+
+/// Writes the collected trace (registry snapshot + rayon spawn count) to
+/// `path`.
+fn write_trace(path: &str) {
+    write_file(path, &trace::collect().to_json());
+    status::note(&format!("wrote {path}"));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
@@ -58,6 +83,10 @@ fn main() {
         bench_export_main(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("bench-gate") {
+        bench_gate_main(&args[1..]);
+        return;
+    }
     experiments_main(&args);
 }
 
@@ -65,11 +94,14 @@ fn main() {
 /// and write the perf-trajectory JSON.
 fn bench_export_main(args: &[String]) {
     let mut quick = false;
+    let mut check = false;
     let mut out_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--check" => check = true,
+            "--quiet" => status::set_quiet(true),
             "--out" => {
                 i += 1;
                 out_path = match args.get(i) {
@@ -78,7 +110,10 @@ fn bench_export_main(args: &[String]) {
                 };
             }
             "--help" | "-h" => {
-                eprintln!("usage: rlnc-experiments bench-export [--quick] [--out FILE.json]");
+                eprintln!(
+                    "usage: rlnc-experiments bench-export [--quick] [--check] [--quiet] \
+                     [--out FILE.json]"
+                );
                 return;
             }
             other => usage_error(&format!("unknown bench-export argument: {other}")),
@@ -86,16 +121,141 @@ fn bench_export_main(args: &[String]) {
         i += 1;
     }
     let export = bench_export::run(quick);
+    let json = bench_export::to_json(&export);
+    if check {
+        // Parse-back self check: the emitted document must round-trip
+        // through the same parser `bench-gate` loads baselines with.
+        match bench_export::from_json(&json) {
+            Ok(back) if back == export => status::note("export parses back identically"),
+            Ok(_) => {
+                status::warn("export parse-back differs from the measured export");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                status::warn(&format!("export does not parse back: {e}"));
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = out_path {
         print!("{}", bench_export::to_summary(&export));
-        write_file(&path, &bench_export::to_json(&export));
-        eprintln!("wrote {path}");
+        write_file(&path, &json);
+        status::note(&format!("wrote {path}"));
     } else {
         // JSON goes to stdout (pipe-friendly), the summary to stderr, so
         // `bench-export > BENCH_N.json` stays parseable.
         eprint!("{}", bench_export::to_summary(&export));
-        print!("{}", bench_export::to_json(&export));
+        print!("{json}");
     }
+}
+
+/// The `bench-gate` subcommand: compare a fresh export against the latest
+/// committed trajectory file and exit 1 on regression.
+fn bench_gate_main(args: &[String]) {
+    let mut quick = false;
+    let mut against: Option<String> = None;
+    let mut fresh_path: Option<String> = None;
+    let mut config = bench_gate::GateConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--quiet" => status::set_quiet(true),
+            "--against" => {
+                i += 1;
+                against = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--against requires a BENCH_*.json path"),
+                };
+            }
+            "--fresh" => {
+                i += 1;
+                fresh_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--fresh requires a bench-export JSON path"),
+                };
+            }
+            "--tolerance" => {
+                i += 1;
+                config.tolerance = match args.get(i).and_then(|raw| raw.parse::<f64>().ok()) {
+                    Some(t) if t >= 1.0 => t,
+                    _ => usage_error("--tolerance requires a number >= 1.0"),
+                };
+            }
+            "--tolerance-group" => {
+                i += 1;
+                let Some((name, raw)) = args.get(i).and_then(|s| s.split_once('=')) else {
+                    usage_error("--tolerance-group requires NAME=FACTOR");
+                };
+                match raw.parse::<f64>() {
+                    Ok(t) if t >= 1.0 => config.group_tolerance.push((name.to_string(), t)),
+                    _ => usage_error("--tolerance-group requires a factor >= 1.0"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: rlnc-experiments bench-gate [--quick] [--quiet] \
+                     [--against BENCH_N.json] [--fresh EXPORT.json] \
+                     [--tolerance F] [--tolerance-group NAME=F]\n\
+                     \x20  baseline defaults to the highest-numbered BENCH_*.json in .\n\
+                     \x20  exit codes: 0 pass, 1 regression, 2 usage"
+                );
+                return;
+            }
+            other => usage_error(&format!("unknown bench-gate argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let against = against.or_else(|| {
+        bench_gate::latest_bench_file(std::path::Path::new("."))
+            .map(|p| p.to_string_lossy().into_owned())
+    });
+    let Some(against) = against else {
+        usage_error("no BENCH_*.json baseline found; pass --against FILE");
+    };
+    let baseline = match std::fs::read_to_string(&against) {
+        Ok(text) => match bench_export::from_json(&text) {
+            Ok(export) => export,
+            Err(e) => {
+                status::warn(&format!("{against}: invalid bench export: {e}"));
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            status::warn(&format!("cannot read baseline {against}: {e}"));
+            std::process::exit(2);
+        }
+    };
+
+    let fresh = match fresh_path {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => match bench_export::from_json(&text) {
+                Ok(export) => export,
+                Err(e) => {
+                    status::warn(&format!("{path}: invalid bench export: {e}"));
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                status::warn(&format!("cannot read fresh export {path}: {e}"));
+                std::process::exit(2);
+            }
+        },
+        None => {
+            status::note("measuring fresh export...");
+            bench_export::run(quick)
+        }
+    };
+
+    let report = bench_gate::evaluate(&fresh, &baseline, &config);
+    println!("bench-gate against {against}");
+    print!("{}", report.render());
+    if report.failed() {
+        status::warn("bench-gate: performance regression detected");
+        std::process::exit(1);
+    }
+    println!("bench-gate: ok");
 }
 
 /// The classic E1–E10 driver.
@@ -104,6 +264,7 @@ fn experiments_main(args: &[String]) {
     let mut seed = 0u64;
     let mut only: Vec<String> = Vec::new();
     let mut markdown_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +277,7 @@ fn experiments_main(args: &[String]) {
                 i += 1;
                 seed = parse_seed(args.get(i), "--seed");
             }
+            "--quiet" => status::set_quiet(true),
             "--only" => {
                 i += 1;
                 let before = only.len();
@@ -135,6 +297,13 @@ fn experiments_main(args: &[String]) {
                     None => usage_error("--markdown requires a file path"),
                 };
             }
+            "--trace-out" => {
+                i += 1;
+                trace_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--trace-out requires a file path"),
+                };
+            }
             "--list" => {
                 for e in &EXPERIMENTS {
                     println!("{:>4}  {}", e.id, e.description);
@@ -144,9 +313,11 @@ fn experiments_main(args: &[String]) {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: rlnc-experiments [--scale smoke|standard|full] [--seed N] \
-                     [--only e1 e2 ...] [--markdown FILE] [--list]\n\
+                     [--only e1 e2 ...] [--markdown FILE] [--trace-out FILE.json] \
+                     [--quiet] [--list]\n\
                      \x20      rlnc-experiments sweep --help\n\
-                     \x20      rlnc-experiments bench-export [--quick] [--out FILE.json]"
+                     \x20      rlnc-experiments bench-export [--quick] [--check] [--out FILE.json]\n\
+                     \x20      rlnc-experiments bench-gate --help"
                 );
                 return;
             }
@@ -160,9 +331,13 @@ fn experiments_main(args: &[String]) {
     let unknown: Vec<&String> = only.iter().filter(|id| parse_experiment_id(id).is_none()).collect();
     if !unknown.is_empty() {
         for id in unknown {
-            eprintln!("unknown experiment id: {id}");
+            status::warn(&format!("unknown experiment id: {id}"));
         }
         std::process::exit(2);
+    }
+
+    if trace_path.is_some() {
+        enable_tracing();
     }
 
     let reports: Vec<ExperimentReport> = if only.is_empty() {
@@ -182,11 +357,14 @@ fn experiments_main(args: &[String]) {
 
     if let Some(path) = markdown_path {
         write_file(&path, &combined);
-        eprintln!("wrote {path}");
+        status::note(&format!("wrote {path}"));
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path);
     }
 
     if !all_consistent {
-        eprintln!("WARNING: at least one finding did not match the paper's claim");
+        status::warn("WARNING: at least one finding did not match the paper's claim");
         std::process::exit(1);
     }
 }
@@ -199,7 +377,9 @@ fn sweep_main(args: &[String]) {
     let mut out_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut markdown_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut resume = false;
+    let mut progress = false;
 
     let registry = Registry::builtin();
 
@@ -242,7 +422,16 @@ fn sweep_main(args: &[String]) {
                     None => usage_error("--markdown requires a file path"),
                 };
             }
+            "--trace-out" => {
+                i += 1;
+                trace_path = match args.get(i) {
+                    Some(path) => Some(path.clone()),
+                    None => usage_error("--trace-out requires a file path"),
+                };
+            }
             "--resume" => resume = true,
+            "--progress" => progress = true,
+            "--quiet" => status::set_quiet(true),
             "--list-scenarios" => {
                 // Name + description, then the workload/axis metadata line,
                 // so new scenarios are discoverable without reading
@@ -261,7 +450,7 @@ fn sweep_main(args: &[String]) {
                 let text = match std::fs::read_to_string(path) {
                     Ok(text) => text,
                     Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
+                        status::warn(&format!("cannot read {path}: {e}"));
                         std::process::exit(1);
                     }
                 };
@@ -276,7 +465,7 @@ fn sweep_main(args: &[String]) {
                         return;
                     }
                     Err(e) => {
-                        eprintln!("{path}: invalid sweep export: {e}");
+                        status::warn(&format!("{path}: invalid sweep export: {e}"));
                         std::process::exit(1);
                     }
                 }
@@ -284,7 +473,8 @@ fn sweep_main(args: &[String]) {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: rlnc-experiments sweep --scenario NAME [--scale smoke|standard|full] \
-                     [--seed N] [--out FILE.json] [--csv FILE.csv] [--markdown FILE.md] [--resume]\n\
+                     [--seed N] [--out FILE.json] [--csv FILE.csv] [--markdown FILE.md] \
+                     [--trace-out FILE.json] [--resume] [--progress] [--quiet]\n\
                      \x20      rlnc-experiments sweep --list-scenarios\n\
                      \x20      rlnc-experiments sweep --check FILE.json"
                 );
@@ -299,12 +489,12 @@ fn sweep_main(args: &[String]) {
         usage_error("sweep requires --scenario NAME (or --list-scenarios / --check FILE)");
     };
     let Some(spec) = registry.get(&name) else {
-        eprintln!("unknown scenario: {name}");
-        eprintln!("available scenarios: {}", registry.names().join(", "));
+        status::warn(&format!("unknown scenario: {name}"));
+        status::warn(&format!("available scenarios: {}", registry.names().join(", ")));
         std::process::exit(2);
     };
 
-    let executor = SweepExecutor::new(scale).with_seed(seed);
+    let executor = SweepExecutor::new(scale).with_seed(seed).with_progress(progress);
     if resume && out_path.is_none() {
         usage_error("--resume requires --out FILE (the export to resume from)");
     }
@@ -313,7 +503,7 @@ fn sweep_main(args: &[String]) {
             Ok(text) => match emit::from_json(&text) {
                 Ok(previous) => previous.records,
                 Err(e) => {
-                    eprintln!("ignoring unparsable previous export {path}: {e}");
+                    status::warn(&format!("ignoring unparsable previous export {path}: {e}"));
                     Vec::new()
                 }
             },
@@ -321,20 +511,26 @@ fn sweep_main(args: &[String]) {
         },
         _ => Vec::new(),
     };
+    if trace_path.is_some() {
+        enable_tracing();
+    }
     let run = executor.resume(spec, &existing);
 
     print!("{}", run.to_markdown());
     if let Some(path) = out_path {
         write_file(&path, &emit::to_json(&run));
-        eprintln!("wrote {path}");
+        status::note(&format!("wrote {path}"));
     }
     if let Some(path) = csv_path {
         write_file(&path, &emit::to_csv(&run));
-        eprintln!("wrote {path}");
+        status::note(&format!("wrote {path}"));
     }
     if let Some(path) = markdown_path {
         write_file(&path, &run.to_markdown());
-        eprintln!("wrote {path}");
+        status::note(&format!("wrote {path}"));
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path);
     }
 }
 

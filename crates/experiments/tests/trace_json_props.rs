@@ -1,0 +1,171 @@
+//! Property tests for the trace JSON round-trip and for snapshot merging.
+//!
+//! * `rlnc_experiments::trace::from_json` is the exact inverse of
+//!   `TraceDocument::to_json` — for arbitrary documents, including empty
+//!   sections, empty histograms, extreme `u64` values, and metric names
+//!   that need JSON escaping.
+//! * `MetricsSnapshot::merge` is order-independent: shard-local snapshots
+//!   merged in any order produce the same snapshot and the same bytes.
+//!   This is the property that lets the parallel sweep executor merge
+//!   per-batch observations without caring which worker finishes first.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rlnc_experiments::trace;
+use rlnc_obs::{MetricValue, MetricsSnapshot, TraceDocument};
+use rlnc_par::SeedSequence;
+
+/// Characters deliberately including every JSON-escape class the emitter
+/// handles: quote, backslash, control characters, and plain text.
+const NAME_CHARS: [char; 12] =
+    ['a', 'z', '.', '_', '-', '"', '\\', '\n', '\t', '\r', '\u{1}', ' '];
+
+fn arbitrary_name(rng: &mut impl Rng) -> String {
+    let len = rng.random_range(1usize..10);
+    (0..len)
+        .map(|_| NAME_CHARS[rng.random_range(0..NAME_CHARS.len())])
+        .collect()
+}
+
+fn arbitrary_value(rng: &mut impl Rng) -> MetricValue {
+    match rng.random_range(0u32..4) {
+        0 => MetricValue::Counter(extreme_u64(rng)),
+        1 => MetricValue::Gauge(extreme_u64(rng)),
+        2 => {
+            // Sorted strictly-increasing bounds; possibly empty (a
+            // one-bucket "histogram" is legal and must round-trip).
+            let len = rng.random_range(0usize..5);
+            let mut bounds = Vec::with_capacity(len);
+            let mut next = 0u64;
+            for _ in 0..len {
+                next += rng.random_range(1u64..1000);
+                bounds.push(next);
+            }
+            let counts = (0..bounds.len() + 1).map(|_| extreme_u64(rng)).collect();
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum: extreme_u64(rng),
+            }
+        }
+        _ => MetricValue::Span {
+            calls: rng.random_range(0u64..1000),
+            total_ns: extreme_u64(rng),
+            min_ns: extreme_u64(rng),
+            max_ns: extreme_u64(rng),
+        },
+    }
+}
+
+/// Mostly small values, occasionally the `u64` extremes that would break
+/// a parser routing integers through `f64`.
+fn extreme_u64(rng: &mut impl Rng) -> u64 {
+    match rng.random_range(0u32..4) {
+        0 => u64::MAX,
+        1 => u64::MAX - 1,
+        2 => 0,
+        _ => rng.random_range(0u64..1_000_000),
+    }
+}
+
+fn arbitrary_document(seed: u64) -> TraceDocument {
+    let mut rng = SeedSequence::new(seed).rng();
+    let mut doc = TraceDocument::default();
+    for _ in 0..rng.random_range(0usize..6) {
+        let value = arbitrary_value(&mut rng);
+        doc.deterministic.insert(arbitrary_name(&mut rng), value);
+    }
+    for _ in 0..rng.random_range(0usize..6) {
+        let value = arbitrary_value(&mut rng);
+        doc.timing.insert(arbitrary_name(&mut rng), value);
+    }
+    doc
+}
+
+/// A shard snapshot over a fixed name/kind vocabulary, so any two shards
+/// are merge-compatible (same kind, same histogram bounds per name).
+fn arbitrary_shard(rng: &mut impl Rng) -> MetricsSnapshot {
+    let mut shard = MetricsSnapshot::new();
+    for name in ["c.trials", "c.steps"] {
+        if rng.random_range(0u32..3) > 0 {
+            shard.insert(name, MetricValue::Counter(rng.random_range(0u64..1_000_000)));
+        }
+    }
+    if rng.random_range(0u32..3) > 0 {
+        shard.insert("g.peak", MetricValue::Gauge(rng.random_range(0u64..1_000_000)));
+    }
+    if rng.random_range(0u32..3) > 0 {
+        let counts = (0..4).map(|_| rng.random_range(0u64..1000)).collect();
+        shard.insert(
+            "h.delivered",
+            MetricValue::Histogram {
+                bounds: vec![1, 8, 64],
+                counts,
+                sum: rng.random_range(0u64..100_000),
+            },
+        );
+    }
+    if rng.random_range(0u32..3) > 0 {
+        let calls = rng.random_range(0u64..50);
+        let (min_ns, max_ns) = if calls == 0 {
+            (0, 0)
+        } else {
+            let a = rng.random_range(1u64..1000);
+            let b = rng.random_range(1u64..1000);
+            (a.min(b), a.max(b))
+        };
+        shard.insert(
+            "s.extract",
+            MetricValue::Span {
+                calls,
+                total_ns: rng.random_range(0u64..1_000_000),
+                min_ns,
+                max_ns,
+            },
+        );
+    }
+    shard
+}
+
+fn merge_all(shards: &[&MetricsSnapshot]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::new();
+    for shard in shards {
+        merged.merge(shard).expect("fixed vocabulary is merge-compatible");
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_documents_round_trip_through_json(seed in 0u64..1_000_000) {
+        let doc = arbitrary_document(seed);
+        let json = doc.to_json();
+        let parsed = trace::from_json(&json)
+            .map_err(|e| format!("emitted JSON failed to parse: {e}\n{json}"))?;
+        prop_assert_eq!(&parsed, &doc);
+        // And re-emitting is byte-stable (canonical form).
+        prop_assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_independent(seed in 0u64..1_000_000) {
+        let mut rng = SeedSequence::new(seed).rng();
+        let a = arbitrary_shard(&mut rng);
+        let b = arbitrary_shard(&mut rng);
+        let c = arbitrary_shard(&mut rng);
+        let abc = merge_all(&[&a, &b, &c]);
+        let cba = merge_all(&[&c, &b, &a]);
+        let bac = merge_all(&[&b, &a, &c]);
+        prop_assert_eq!(&abc, &cba);
+        prop_assert_eq!(&abc, &bac);
+        prop_assert_eq!(abc.to_json(), cba.to_json());
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = merge_all(&[&a, &b]);
+        left.merge(&c).unwrap();
+        let mut right = a.clone();
+        right.merge(&merge_all(&[&b, &c])).unwrap();
+        prop_assert_eq!(left, right);
+    }
+}

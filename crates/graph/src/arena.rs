@@ -20,6 +20,31 @@
 
 use crate::ball::Ball;
 use crate::csr::{Graph, NodeId};
+use rlnc_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySpan, Section, POW2_BUCKETS};
+
+// Arena-level observability (see ARCHITECTURE.md "Observability"). All of
+// these are functions of (graph, radius) alone — never of thread schedule
+// — so they live in the deterministic trace section; the extraction span
+// is wall-clock and lands in the timing section.
+static OBS_EXTRACTIONS: LazyCounter =
+    LazyCounter::new("graph.arena.extractions", Section::Deterministic);
+static OBS_BALLS: LazyCounter = LazyCounter::new("graph.arena.balls", Section::Deterministic);
+static OBS_MEMBERS: LazyCounter = LazyCounter::new("graph.arena.members", Section::Deterministic);
+static OBS_CSR_EDGES: LazyCounter =
+    LazyCounter::new("graph.arena.csr_edges", Section::Deterministic);
+static OBS_WORKING_SET: LazyGauge =
+    LazyGauge::new("graph.arena.working_set_bytes", Section::Deterministic);
+static OBS_BALL_MEMBERS: LazyHistogram = LazyHistogram::new(
+    "graph.arena.ball_members",
+    Section::Deterministic,
+    &POW2_BUCKETS,
+);
+static OBS_BALL_EDGES: LazyHistogram = LazyHistogram::new(
+    "graph.arena.ball_edges",
+    Section::Deterministic,
+    &POW2_BUCKETS,
+);
+static OBS_EXTRACT_SPAN: LazySpan = LazySpan::new("graph.arena.extract_all");
 
 /// Reusable scratch state for bounded BFS over one host graph.
 ///
@@ -116,6 +141,7 @@ impl BallArena {
     /// Extracts the radius-`t` ball of every node of `graph` with one
     /// shared scratch.
     pub fn extract_all(graph: &Graph, radius: u32) -> BallArena {
+        let _span = OBS_EXTRACT_SPAN.start();
         let n = graph.node_count();
         let mut scratch = BfsScratch::new(n);
         let mut frontier: Vec<(NodeId, u32)> = Vec::new();
@@ -175,7 +201,39 @@ impl BallArena {
             arena.ball_offsets.push(arena.members.len());
             arena.edge_offsets.push(arena.csr_neighbors.len());
         }
+        arena.record_obs();
         arena
+    }
+
+    /// Feeds the arena's cache-behavior proxies into the observability
+    /// registry: one counter bump per extraction plus per-ball member/CSR
+    /// size histograms. Near-free (one branch) when collection is off.
+    fn record_obs(&self) {
+        if !rlnc_obs::enabled() {
+            return;
+        }
+        OBS_EXTRACTIONS.inc();
+        OBS_BALLS.add(self.len() as u64);
+        OBS_MEMBERS.add(self.total_members() as u64);
+        OBS_CSR_EDGES.add(self.csr_neighbors.len() as u64);
+        OBS_WORKING_SET.record_max(self.working_set_bytes());
+        for i in 0..self.len() {
+            OBS_BALL_MEMBERS.observe(self.ball_len(i) as u64);
+            OBS_BALL_EDGES.observe((self.edge_offsets[i + 1] - self.edge_offsets[i]) as u64);
+        }
+    }
+
+    /// Bytes held by the arena's flat arrays — the working set a kernel
+    /// pass over every ball touches, and the cache-behavior proxy exported
+    /// as `graph.arena.working_set_bytes` and in `bench-export` groups.
+    pub fn working_set_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.ball_offsets.len() * size_of::<usize>()
+            + self.members.len() * size_of::<NodeId>()
+            + self.distances.len() * size_of::<u32>()
+            + self.csr_offsets.len() * size_of::<u32>()
+            + self.csr_neighbors.len() * size_of::<u32>()
+            + self.edge_offsets.len() * size_of::<usize>()) as u64
     }
 
     /// The extraction radius.
@@ -298,6 +356,18 @@ mod tests {
         assert_eq!(arena.ball_len(0), 9);
         assert!(!arena.is_empty());
         assert_eq!(arena.radius(), 1);
+    }
+
+    #[test]
+    fn working_set_bytes_tracks_array_growth() {
+        let g = cycle(16);
+        let small = BallArena::extract_all(&g, 1);
+        let large = BallArena::extract_all(&g, 4);
+        assert!(small.working_set_bytes() > 0);
+        assert!(
+            large.working_set_bytes() > small.working_set_bytes(),
+            "larger radius must touch a larger working set"
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! A counting global allocator (behind the `count-alloc` feature): the
+//! peak-allocation proxy of the perf trajectory, promoted here from
+//! `rlnc-experiments::alloc_counter` so *any* crate's tests can assert
+//! allocation-freedom (the engine equivalence suite and the experiments
+//! harness both do).
+//!
+//! `BENCH_*.json` used to record wall time only, so memory-behavior
+//! regressions were invisible until they dominated runtime. With this
+//! feature enabled, every allocation through the global allocator bumps a
+//! relaxed atomic counter and a live-bytes gauge (with a peak watermark),
+//! letting `bench-export`:
+//!
+//! * record allocation counts per measured pass alongside nanoseconds, and
+//! * **assert** the hot-loop acceptance criteria — view-native
+//!   `is_bad_view` verdicts and instrumented engine kernels perform
+//!   *zero* heap allocations (disabled obs sinks included).
+//!
+//! The counters use `Ordering::Relaxed`: they are statistics, not
+//! synchronization, and the measured loops are single-threaded.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator: delegates to [`System`], counting on the way.
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn record_alloc(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = CURRENT_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Count a grow/shrink as one allocation event and move the
+            // live-bytes gauge by the delta.
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            if new_size >= layout.size() {
+                let live =
+                    CURRENT_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                        + (new_size - layout.size());
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            } else {
+                CURRENT_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Total number of allocation events since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Live heap bytes currently tracked.
+pub fn current_bytes() -> usize {
+    CURRENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// The high-water mark of live heap bytes — the peak-allocation proxy
+/// recorded in `BENCH_*.json`.
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_counted() {
+        let before = allocations();
+        // black_box keeps release-mode LLVM from eliding the unused heap
+        // allocation entirely (malloc elision is legal for dead allocs).
+        let v: Vec<u64> = std::hint::black_box((0..1024).collect());
+        assert!(allocations() > before, "a fresh Vec must be counted");
+        assert!(peak_bytes() >= 1024 * 8);
+        assert!(current_bytes() > 0);
+        drop(std::hint::black_box(v));
+    }
+
+    #[test]
+    fn disabled_obs_sinks_do_not_allocate() {
+        use crate::{LazyCounter, LazyHistogram, Section, POW2_BUCKETS};
+
+        static C: LazyCounter = LazyCounter::new("test.alloc.counter", Section::Deterministic);
+        static H: LazyHistogram =
+            LazyHistogram::new("test.alloc.hist", Section::Deterministic, &POW2_BUCKETS);
+
+        assert!(!crate::enabled(), "count-alloc tests assume obs is off");
+        let before = allocations();
+        for i in 0..10_000u64 {
+            C.add(i);
+            H.observe(i);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "disabled sinks must be allocation-free"
+        );
+    }
+
+    #[test]
+    fn enabled_obs_sinks_do_not_allocate_after_interning() {
+        use crate::{LazyCounter, LazyHistogram, Section, POW2_BUCKETS};
+
+        static C: LazyCounter = LazyCounter::new("test.alloc.hot_counter", Section::Deterministic);
+        static H: LazyHistogram =
+            LazyHistogram::new("test.alloc.hot_hist", Section::Deterministic, &POW2_BUCKETS);
+
+        // Interning allocates once (the leaked cell); the steady state
+        // must not. Resolve the handles directly so the test holds whether
+        // or not collection is globally enabled.
+        let c = C.handle();
+        let h = H.handle();
+        c.add(1);
+        h.observe(1);
+        let before = allocations();
+        for i in 0..10_000u64 {
+            c.add(i);
+            h.observe(i);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "resolved hot-path sinks must be allocation-free"
+        );
+    }
+}

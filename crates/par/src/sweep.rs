@@ -27,6 +27,19 @@ where
     configs.iter().map(f).collect()
 }
 
+/// Cumulative number of scoped worker threads spawned by the vendored
+/// `rayon` stub since process start — the observability layer's
+/// parallelism-overhead counter (a *timing-section* metric: it depends on
+/// core count and work-stealing granularity, never on results).
+///
+/// This wrapper is the single site to patch when swapping the vendored
+/// stub back to crates.io `rayon` (which spawns pool threads once instead
+/// of scoped threads per call): either return `0` or count
+/// `ThreadPoolBuilder` spawns via its `spawn_handler`.
+pub fn scoped_spawn_count() -> u64 {
+    rayon::scoped_spawn_count()
+}
+
 /// Cartesian product of two parameter axes.
 pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
     let mut out = Vec::with_capacity(a.len() * b.len());

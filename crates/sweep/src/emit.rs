@@ -172,10 +172,14 @@ pub fn from_json(text: &str) -> Result<SweepRun, String> {
 /// A minimal JSON value model and recursive-descent parser.
 ///
 /// Numbers keep their raw token so 64-bit integers (seeds!) never pass
-/// through `f64` and lose precision.
-#[cfg_attr(not(test), allow(dead_code))] // booleans are only exercised by tests
-mod json {
+/// through `f64` and lose precision. Public (since PR 7) so sibling crates
+/// can parse the workspace's other hand-rolled JSON documents — trace
+/// exports (`rlnc-obs`) and bench trajectories (`bench-export`) — without
+/// growing their own parsers: one parser, one set of escape rules,
+/// property-tested round-trips.
+pub mod json {
     /// A parsed JSON value.
+    #[derive(Debug)]
     pub enum Value {
         /// `null`
         Null,
@@ -192,6 +196,7 @@ mod json {
     }
 
     impl Value {
+        /// The object fields, or an error naming `what`.
         pub fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
             match self {
                 Value::Object(fields) => Ok(fields),
@@ -199,6 +204,7 @@ mod json {
             }
         }
 
+        /// The array items, or an error naming `what`.
         pub fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
             match self {
                 Value::Array(items) => Ok(items),
@@ -206,6 +212,7 @@ mod json {
             }
         }
 
+        /// The string contents, or an error naming `what`.
         pub fn as_string(&self, what: &str) -> Result<String, String> {
             match self {
                 Value::String(s) => Ok(s.clone()),
@@ -213,6 +220,7 @@ mod json {
             }
         }
 
+        /// The boolean, or an error naming `what`.
         pub fn as_bool(&self, what: &str) -> Result<bool, String> {
             match self {
                 Value::Bool(b) => Ok(*b),
@@ -220,6 +228,7 @@ mod json {
             }
         }
 
+        /// The number as a `u64` (exact, never via `f64`), or an error.
         pub fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Value::Number(raw) => raw
@@ -229,6 +238,7 @@ mod json {
             }
         }
 
+        /// The number as a finite `f64`, or an error naming `what`.
         pub fn as_f64(&self, what: &str) -> Result<f64, String> {
             match self {
                 Value::Number(raw) => {

@@ -20,11 +20,22 @@
 
 use crate::record::{RunRecord, SweepRun};
 use crate::spec::{GridPoint, ScenarioSpec};
+use rlnc_obs::{LazyCounter, LazySpan, Section};
 use rlnc_par::rng::SeedSequence;
 use rlnc_par::stats::Estimate;
 use rlnc_par::sweep::{balanced_ranges, sweep, sweep_sequential};
 use rlnc_par::Scale;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Sweep-level observability: runs, freshly computed grid points, and
+// trials are functions of (spec, scale, resume set) alone — deterministic.
+// The resume span is wall-clock — timing.
+static OBS_RUNS: LazyCounter = LazyCounter::new("sweep.runs", Section::Deterministic);
+static OBS_POINTS: LazyCounter =
+    LazyCounter::new("sweep.points.completed", Section::Deterministic);
+static OBS_TRIALS: LazyCounter = LazyCounter::new("sweep.trials", Section::Deterministic);
+static OBS_RESUME_SPAN: LazySpan = LazySpan::new("sweep.resume");
 
 /// Default master seed of the sweep engine (overridable per run and from
 /// the CLI's `--seed`).
@@ -49,6 +60,7 @@ pub struct SweepExecutor {
     master_seed: u64,
     batch: u64,
     parallel: bool,
+    progress: bool,
 }
 
 impl SweepExecutor {
@@ -60,7 +72,17 @@ impl SweepExecutor {
             master_seed: DEFAULT_SWEEP_SEED,
             batch: 256,
             parallel: true,
+            progress: false,
         }
+    }
+
+    /// Enables live per-point progress reporting: one
+    /// `[sweep] <scenario>: <done>/<total> points` line on stderr per
+    /// completed grid point (the CLI's `--progress`). Results are
+    /// unaffected; stdout and exports stay byte-identical.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
     }
 
     /// Overrides the master seed.
@@ -121,6 +143,8 @@ impl SweepExecutor {
         if let Err(e) = spec.validate() {
             panic!("invalid scenario: {e}");
         }
+        let _span = OBS_RESUME_SPAN.start();
+        OBS_RUNS.inc();
         let points = spec.grid(self.scale);
         let scenario_seq = self.scenario_sequence(&spec.name);
 
@@ -160,6 +184,18 @@ impl SweepExecutor {
             })
             .collect();
 
+        // Per-point progress bookkeeping (only when requested): a slot is
+        // done when its last trial range finishes, whichever worker ran it.
+        let progress = self.progress.then(|| {
+            let mut per_slot = vec![0u64; prepared.len()];
+            for &(slot, _) in &items {
+                per_slot[slot] += 1;
+            }
+            let remaining: Vec<AtomicU64> = per_slot.into_iter().map(AtomicU64::new).collect();
+            (remaining, AtomicU64::new(0))
+        });
+        let total_points = prepared.len();
+
         let run_item = |&(slot, ref range): &(usize, std::ops::Range<usize>)| {
             let (_, point_seq, prep) = &prepared[slot];
             let trial_root = point_seq.child(1);
@@ -170,6 +206,12 @@ impl SweepExecutor {
                 let outcome = prep.run_trial_with(&mut scratch, trial_root.child(trial as u64));
                 successes += u64::from(outcome.success);
                 values.push(outcome.value);
+            }
+            if let Some((remaining, done)) = &progress {
+                if remaining[slot].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let finished = done.fetch_add(1, Ordering::AcqRel) + 1;
+                    eprintln!("[sweep] {}: {finished}/{total_points} points", spec.name);
+                }
             }
             (slot, successes, values)
         };
@@ -188,6 +230,10 @@ impl SweepExecutor {
         for (slot, succ, chunk) in partials {
             successes[slot] += succ;
             values[slot].extend(chunk);
+        }
+        if rlnc_obs::enabled() {
+            OBS_POINTS.add(prepared.len() as u64);
+            OBS_TRIALS.add(prepared.iter().map(|(p, _, _)| p.trials).sum());
         }
         let value_sums: Vec<f64> = values.iter().map(|v| v.iter().sum()).collect();
 

@@ -1,0 +1,56 @@
+//! The observability determinism contract, pinned at the sweep layer.
+//!
+//! `rlnc-obs` splits every export into a *deterministic* section (pure
+//! function of the work requested) and a *timing* section (wall clock,
+//! scheduling). This test runs the same scenarios through executor
+//! variants that change **only** the schedule — default parallel,
+//! `.sequential()`, and an odd batch size — and asserts the deterministic
+//! section renders to byte-identical JSON every time.
+//!
+//! The registry is process-global, so this is a single `#[test]` in its
+//! own integration binary: within one binary cargo may interleave tests
+//! on multiple threads, and a second obs-touching test would race the
+//! `reset()`/`snapshot()` windows.
+
+use rlnc_sweep::{Registry, SweepExecutor};
+
+/// Runs `configure(executor)` over `scenario` with a clean registry and
+/// returns the deterministic section's canonical JSON.
+fn deterministic_json(
+    scenario: &str,
+    configure: impl FnOnce(SweepExecutor) -> SweepExecutor,
+) -> String {
+    let registry = Registry::builtin();
+    let spec = registry.get(scenario).expect("scenario exists");
+    let executor = configure(SweepExecutor::new(rlnc_par::Scale::Smoke).with_seed(5));
+    rlnc_obs::reset();
+    rlnc_obs::set_enabled(true);
+    let run = executor.run(spec);
+    rlnc_obs::set_enabled(false);
+    assert!(!run.records.is_empty(), "{scenario}: sweep produced no records");
+    let json = rlnc_obs::snapshot().deterministic_json();
+    assert_ne!(json, "{}", "{scenario}: no deterministic metrics collected");
+    json
+}
+
+#[test]
+fn deterministic_section_is_schedule_independent() {
+    // fault-matrix exercises rounds + faults + engine; language-matrix
+    // exercises the registry-driven plan-cache path.
+    for scenario in ["fault-matrix", "language-matrix"] {
+        let parallel = deterministic_json(scenario, |e| e);
+        let sequential = deterministic_json(scenario, |e| e.sequential());
+        let odd_batch = deterministic_json(scenario, |e| e.with_batch(7));
+        assert_eq!(
+            parallel, sequential,
+            "{scenario}: parallel vs sequential deterministic sections differ"
+        );
+        assert_eq!(
+            parallel, odd_batch,
+            "{scenario}: batch size leaked into the deterministic section"
+        );
+        // Re-running the same variant is also byte-stable.
+        let parallel_again = deterministic_json(scenario, |e| e);
+        assert_eq!(parallel, parallel_again, "{scenario}: rerun not reproducible");
+    }
+}

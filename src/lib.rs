@@ -23,6 +23,10 @@
 //! * [`sweep`] — the declarative scenario-sweep engine: named grids over
 //!   graph family × size × identity scheme × workload, a batched
 //!   reproducible executor, and JSON/CSV/markdown result export.
+//! * [`obs`] — zero-dependency observability: a process-global registry of
+//!   atomic counters/gauges/histograms/spans, disabled by default, whose
+//!   exports split into a *deterministic* section (byte-identical across
+//!   thread schedules and batch sizes) and a *timing* section.
 //! * [`experiments`] — the harness that regenerates the paper's
 //!   quantitative claims.
 //!
@@ -49,6 +53,7 @@ pub use rlnc_engine as engine;
 pub use rlnc_experiments as experiments;
 pub use rlnc_graph as graph;
 pub use rlnc_langs as langs;
+pub use rlnc_obs as obs;
 pub use rlnc_par as par;
 pub use rlnc_sweep as sweep;
 
@@ -77,5 +82,8 @@ mod tests {
         let plan = crate::engine::ExecutionPlan::for_instance(&instance, 1);
         assert_eq!(plan.node_count(), 5);
         assert_eq!(crate::derand::PipelineCase::ALL.len(), 3);
+        // Observability is disabled by default; a snapshot still renders.
+        assert!(!crate::obs::enabled());
+        assert!(crate::obs::snapshot().to_json().contains("rlnc-trace-v1"));
     }
 }

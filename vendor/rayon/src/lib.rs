@@ -8,6 +8,7 @@
 //! outputs, same ordering, different wall-clock.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub mod prelude {
     //! Traits that make `.par_iter()` / `.into_par_iter()` available.
@@ -32,6 +33,23 @@ std::thread_local! {
 /// region should process its own work sequentially.
 pub fn current_thread_index() -> Option<usize> {
     WORKER_INDEX.with(|cell| cell.get())
+}
+
+/// Scoped threads spawned by this stub since process start.
+///
+/// Unlike the real crates.io rayon — which reuses a persistent worker
+/// pool — this stub pays a fresh `std::thread::scope` spawn per chunk of
+/// every parallel region, so measured parallel speedups *understate* what
+/// the real crate would deliver. This counter quantifies that overhead:
+/// the observability layer exports it as the `rayon.scoped_spawns` timing
+/// metric (it depends on core count, so it is never part of the
+/// deterministic trace section). Not part of upstream rayon's API; remove
+/// callers when swapping the crates.io implementation back in.
+static SPAWN_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total scoped worker threads spawned by parallel operations so far.
+pub fn scoped_spawn_count() -> u64 {
+    SPAWN_COUNT.load(Ordering::Relaxed)
 }
 
 /// Splits `items` into per-thread chunks, applies `f` in parallel, and
@@ -61,6 +79,7 @@ where
             .into_iter()
             .enumerate()
             .map(|(index, chunk)| {
+                SPAWN_COUNT.fetch_add(1, Ordering::Relaxed);
                 scope.spawn(move || {
                     WORKER_INDEX.with(|cell| cell.set(Some(index)));
                     chunk.into_iter().map(f).collect::<Vec<R>>()
@@ -252,6 +271,15 @@ mod tests {
         }
         // Back on the caller thread, the marker must be gone.
         assert_eq!(crate::current_thread_index(), None);
+    }
+
+    #[test]
+    fn scoped_spawns_are_counted() {
+        let before = crate::scoped_spawn_count();
+        let _: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+        if crate::current_num_threads() > 1 {
+            assert!(crate::scoped_spawn_count() > before);
+        }
     }
 
     #[test]
