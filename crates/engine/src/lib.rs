@@ -89,7 +89,11 @@ pub mod plan;
 pub mod round;
 pub mod runner;
 
-pub use cache::PlanCache;
+pub use cache::{
+    set_shared_plan_cache, shared_plan_cache_clear, shared_plan_cache_enabled,
+    shared_plan_cache_stats, shared_plan_for_instance, shared_plan_for_io, PlanCache,
+    SharedCacheStats,
+};
 pub use composite::{ConstructDecidePlan, GluedPlan, UnionPlan};
 pub use plan::{DecisionScratch, ExecutionPlan};
 pub use round::{RoundPlan, RoundRunner};

@@ -20,6 +20,9 @@
 //!   per node per trial) vs the engine's cached decision plan.
 //! * `ball-extraction` — the substrate: per-node `Ball::extract` vs the
 //!   shared-scratch [`BallArena`] pass.
+//! * `shard-overhead` — the sweep partitioning cost (new with the serve
+//!   subsystem): one unsharded fault-matrix smoke sweep vs 4 shard runs
+//!   plus `emit::merge_runs`, with byte-identical output asserted.
 //!
 //! The derand groups (new with the pipeline refactor) measure the two
 //! Theorem-1 kernels against their legacy `rlnc_core::derand` reference
@@ -472,6 +475,53 @@ fn lcl_verdict_group(
     })
 }
 
+/// The `shard-overhead` group (new with the serve subsystem): one
+/// unsharded fault-matrix smoke sweep (legacy) vs the same sweep split
+/// across 4 shards and reassembled with `emit::merge_runs` (engine). The
+/// merged export is asserted byte-identical to the unsharded one on the
+/// way, so the trajectory row doubles as a parity pin and the measured
+/// ratio is pure partitioning + merge overhead. `n` is the grid size,
+/// `trials` the shard count, and the working set is the export itself.
+fn shard_overhead(quick: bool) -> BenchGroup {
+    const SHARDS: u64 = 4;
+    let reps = if quick { 2 } else { 3 };
+    let registry = rlnc_sweep::Registry::builtin();
+    let spec = registry.get("fault-matrix").expect("fault-matrix scenario").clone();
+    let exec = rlnc_sweep::SweepExecutor::new(rlnc_par::Scale::Smoke).with_seed(0x5EED);
+    let full = exec.run(&spec);
+    let full_json = rlnc_sweep::emit::to_json(&full);
+
+    let legacy_ns = best_of(reps, || {
+        let run = exec.run(&spec);
+        assert_eq!(run.records.len(), full.records.len());
+    });
+    let mut merged_json = String::new();
+    let engine_ns = best_of(reps, || {
+        let shards: Vec<_> = (1..=SHARDS).map(|i| exec.run_shard(&spec, i, SHARDS)).collect();
+        let merged = rlnc_sweep::emit::merge_runs(&shards).expect("shards merge");
+        merged_json = rlnc_sweep::emit::to_json(&merged);
+    });
+    assert_eq!(
+        merged_json, full_json,
+        "4-shard merge must be byte-identical to the unsharded sweep"
+    );
+    let counters = obs_counters(|| {
+        let shards: Vec<_> = (1..=SHARDS).map(|i| exec.run_shard(&spec, i, SHARDS)).collect();
+        let _ = rlnc_sweep::emit::merge_runs(&shards).expect("shards merge");
+    });
+    BenchGroup {
+        name: "shard-overhead".into(),
+        n: full.records.len(),
+        trials: SHARDS,
+        legacy_ns,
+        engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
+        working_set_bytes: full_json.len() as u64,
+        counters,
+    }
+}
+
 /// The `langs` groups: one per LCL case in the registry.
 fn lcl_verdict_groups(quick: bool) -> Vec<BenchGroup> {
     rlnc_langs::registry::CaseRegistry::builtin()
@@ -488,6 +538,7 @@ pub fn run(quick: bool) -> BenchExport {
         ball_extraction(quick),
         boosted_union_acceptance(quick),
         glued_acceptance(quick),
+        shard_overhead(quick),
     ];
     groups.extend(lcl_verdict_groups(quick));
     #[cfg(feature = "count-alloc")]
@@ -659,7 +710,7 @@ mod tests {
             .iter()
             .filter(|c| c.lcl.is_some())
             .count();
-        assert_eq!(export.groups.len(), 5 + lcl_cases);
+        assert_eq!(export.groups.len(), 6 + lcl_cases);
         for group in &export.groups {
             assert!(group.legacy_ns > 0 && group.engine_ns > 0);
             assert!(group.speedup() > 0.0);

@@ -381,6 +381,239 @@ fn bench_gate_passes_identical_exports_and_fails_injected_regressions() {
 }
 
 #[test]
+fn sweep_shard_exports_merge_byte_identically_to_the_full_run() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let full_path = tmp.join(format!("rlnc-shard-full-{pid}.json"));
+    let merged_path = tmp.join(format!("rlnc-shard-merged-{pid}.json"));
+    let shard_paths: Vec<_> =
+        (1..=3).map(|i| tmp.join(format!("rlnc-shard-{i}of3-{pid}.json"))).collect();
+
+    let sweep = |extra: &[&str], out: &std::path::Path| {
+        let output = std::process::Command::new(exe)
+            .args(["sweep", "--scenario", "fault-matrix", "--scale", "smoke", "--seed", "21"])
+            .args(extra)
+            .arg("--out")
+            .arg(out)
+            .arg("--quiet")
+            .output()
+            .expect("failed to spawn rlnc-experiments sweep");
+        assert!(
+            output.status.success(),
+            "sweep {extra:?} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    sweep(&[], &full_path);
+    for (i, path) in shard_paths.iter().enumerate() {
+        sweep(&["--shard", &format!("{}/3", i + 1)], path);
+    }
+
+    // sweep-merge reassembles the shard exports byte-identically.
+    let merge = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .args(&shard_paths)
+        .arg("--out")
+        .arg(&merged_path)
+        .arg("--quiet")
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert!(
+        merge.status.success(),
+        "sweep-merge failed: {}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    let full = std::fs::read_to_string(&full_path).unwrap();
+    let merged = std::fs::read_to_string(&merged_path).unwrap();
+    assert_eq!(full, merged, "merged shard exports must be byte-identical to the full run");
+
+    // Dropping a shard makes the merge incomplete: exit 1 without
+    // --allow-partial, exit 0 with it.
+    let partial = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .args(&shard_paths[..2])
+        .arg("--quiet")
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert_eq!(partial.status.code(), Some(1), "incomplete merge must fail");
+    assert!(String::from_utf8_lossy(&partial.stderr).contains("grid points"));
+    let partial_ok = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .args(&shard_paths[..2])
+        .args(["--allow-partial", "--quiet"])
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert!(partial_ok.status.success());
+
+    // A record conflict (same metadata, different content) is refused.
+    let forged_path = tmp.join(format!("rlnc-shard-forged-{pid}.json"));
+    let other = {
+        let out = tmp.join(format!("rlnc-shard-otherseed-{pid}.json"));
+        sweep(&["--shard", "1/3"], &full_path); // reuse full_path as shard 1 at seed 21
+        let output = std::process::Command::new(exe)
+            .args(["sweep", "--scenario", "fault-matrix", "--scale", "smoke", "--seed", "22"])
+            .args(["--shard", "1/3"])
+            .arg("--out")
+            .arg(&out)
+            .arg("--quiet")
+            .output()
+            .expect("failed to spawn rlnc-experiments sweep");
+        assert!(output.status.success());
+        std::fs::read_to_string(&out).unwrap().replace("\"master_seed\": 22", "\"master_seed\": 21")
+    };
+    std::fs::write(&forged_path, other).unwrap();
+    let conflict = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .arg(&full_path)
+        .arg(&forged_path)
+        .arg("--quiet")
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert_eq!(conflict.status.code(), Some(1), "conflicting records must fail the merge");
+    assert!(String::from_utf8_lossy(&conflict.stderr).contains("conflicting records"));
+
+    // Malformed --shard specs are usage errors (exit 2) on one line.
+    for bad in ["0/4", "5/4", "x/y", "3", "4/0"] {
+        let output = std::process::Command::new(exe)
+            .args(["sweep", "--scenario", "smoke", "--shard", bad])
+            .output()
+            .expect("failed to spawn rlnc-experiments sweep");
+        assert_eq!(output.status.code(), Some(2), "--shard {bad} must exit 2");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(stderr.trim().lines().count(), 1, "--shard {bad} error:\n{stderr}");
+    }
+    // A bare --shard with no value is a usage error too.
+    let output = std::process::Command::new(exe)
+        .args(["sweep", "--scenario", "smoke", "--shard"])
+        .output()
+        .expect("failed to spawn rlnc-experiments sweep");
+    assert_eq!(output.status.code(), Some(2));
+    // Bare sweep-merge without inputs as well.
+    let output = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert_eq!(output.status.code(), Some(2));
+
+    for path in shard_paths.iter().chain([&full_path, &merged_path, &forged_path]) {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_file(tmp.join(format!("rlnc-shard-otherseed-{pid}.json")));
+}
+
+/// Kills the resident server on drop so a failing assertion can't leak the
+/// child process into the test harness.
+struct ServerGuard(std::process::Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn sweep_serve_streams_byte_identical_runs_and_warms_the_plan_cache() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let socket = tmp.join(format!("rlnc-serve-cli-{pid}.sock"));
+    let endpoint = format!("unix:{}", socket.display());
+    let local_path = tmp.join(format!("rlnc-serve-local-{pid}.json"));
+    let served_path = tmp.join(format!("rlnc-serve-streamed-{pid}.json"));
+
+    let mut server = ServerGuard(
+        std::process::Command::new(exe)
+            .args(["sweep-serve", "--listen", &endpoint, "--quiet"])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("failed to spawn sweep-serve"),
+    );
+
+    let client = |action_args: &[&str]| {
+        let output = std::process::Command::new(exe)
+            .args(["serve-client", "--connect", &endpoint])
+            .args(action_args)
+            .arg("--quiet")
+            .output()
+            .expect("failed to spawn serve-client");
+        assert!(
+            output.status.success(),
+            "serve-client {action_args:?} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+
+    // serve-client retries the connect, so no sleep is needed here.
+    let listing = client(&["list-scenarios"]);
+    assert!(listing.contains("fault-matrix"), "listing:\n{listing}");
+
+    let run_args = ["run", "--scenario", "smoke", "--scale", "smoke", "--seed", "31"];
+    let first = client(
+        &[&run_args[..], &["--out", served_path.to_str().unwrap()]].concat(),
+    );
+    assert!(first.contains("streamed"), "run output:\n{first}");
+
+    // The streamed export is byte-identical to a local run.
+    let local = std::process::Command::new(exe)
+        .args(["sweep", "--scenario", "smoke", "--scale", "smoke", "--seed", "31"])
+        .arg("--out")
+        .arg(&local_path)
+        .arg("--quiet")
+        .output()
+        .expect("failed to spawn local sweep");
+    assert!(local.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&served_path).unwrap(),
+        std::fs::read_to_string(&local_path).unwrap(),
+        "served export must be byte-identical to a local run"
+    );
+
+    // An identical repeat request is answered from the warm plan cache:
+    // the hits delta on the summary line must be nonzero.
+    let repeat = client(&run_args);
+    let hits: u64 = repeat
+        .lines()
+        .find_map(|line| line.split("plan_cache_hits_delta=").nth(1))
+        .and_then(|rest| rest.split(&[',', ')'][..]).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("run output carries plan_cache_hits_delta");
+    assert!(hits > 0, "repeat request must hit the warm cache:\n{repeat}");
+
+    let status = client(&["status"]);
+    // list-scenarios, two runs, and the status request itself.
+    assert!(status.contains("requests=4"), "status:\n{status}");
+    assert!(status.contains("errors=0"), "status:\n{status}");
+
+    client(&["shutdown"]);
+    let code = server.0.wait().expect("server exits after shutdown");
+    assert!(code.success(), "sweep-serve must exit 0 after shutdown: {code:?}");
+
+    let _ = std::fs::remove_file(&local_path);
+    let _ = std::fs::remove_file(&served_path);
+}
+
+#[test]
+fn serve_subcommands_reject_bad_usage() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    for args in [
+        &["sweep-serve"][..],
+        &["sweep-serve", "--listen", "carrier-pigeon:coop"][..],
+        &["serve-client", "status"][..],
+        &["serve-client", "--connect", "unix:/tmp/x.sock"][..],
+        &["serve-client", "--connect", "unix:/tmp/x.sock", "run", "status"][..],
+    ] {
+        let output = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("failed to spawn rlnc-experiments");
+        assert_eq!(output.status.code(), Some(2), "{args:?} must be a usage error");
+    }
+}
+
+#[test]
 fn cli_binary_rejects_unknown_experiment_ids_and_bad_scales() {
     let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
     // A typo'd id must fail loudly instead of running nothing and exiting 0.

@@ -29,7 +29,7 @@
 //! Collection is **off by default**. Every sink first performs one relaxed
 //! atomic load ([`enabled`]) and branches away — a disabled counter in a
 //! hot loop costs a couple of instructions and never allocates, which is
-//! asserted under the counting allocator (the [`alloc_counter`] module,
+//! asserted under the counting allocator (the `alloc_counter` module,
 //! promoted here from `rlnc-experiments`, behind the `count-alloc`
 //! feature). When enabled, each site resolves its registry cell once
 //! through a [`LazyCounter`]/[`LazyGauge`]/[`LazyHistogram`] static and

@@ -251,6 +251,18 @@ impl TraceDocument {
     pub fn deterministic_json(&self) -> String {
         self.deterministic.to_json()
     }
+
+    /// Merges `other` into `self`, section-wise (see
+    /// [`MetricsSnapshot::merge`]). Commutative and associative, so the
+    /// per-shard traces of a partitioned sweep (`sweep --shard i/N
+    /// --trace-out ...`) combine in any order into one document covering
+    /// the whole run. Note the *combined* totals, not the single-process
+    /// bytes: counters like `sweep.runs` sum to N (one process each), so a
+    /// merged trace is the shard aggregate, not a byte-pinned replay.
+    pub fn merge(&mut self, other: &TraceDocument) -> Result<(), String> {
+        self.deterministic.merge(&other.deterministic)?;
+        self.timing.merge(&other.timing)
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +387,35 @@ mod tests {
         assert!(json.starts_with("{\"schema\":\"rlnc-trace-v1\",\"deterministic\":{"));
         assert!(json.ends_with("\"timing\":{}}"));
         assert_eq!(doc.deterministic_json(), sample().to_json());
+    }
+
+    #[test]
+    fn trace_document_merge_is_sectionwise() {
+        let mut a = TraceDocument {
+            deterministic: sample(),
+            timing: MetricsSnapshot::new(),
+        };
+        let mut timing = MetricsSnapshot::new();
+        timing.insert(
+            "t.span",
+            MetricValue::Span {
+                calls: 1,
+                total_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+            },
+        );
+        let b = TraceDocument {
+            deterministic: sample(),
+            timing,
+        };
+        a.merge(&b).unwrap();
+        assert_eq!(a.deterministic.get("b.counter"), Some(&MetricValue::Counter(14)));
+        assert!(a.timing.get("t.span").is_some());
+        // Section-kind mismatches surface as errors, not silent drops.
+        let mut bad = TraceDocument::default();
+        bad.deterministic.insert("b.counter", MetricValue::Gauge(1));
+        assert!(a.merge(&bad).is_err());
     }
 
     #[test]

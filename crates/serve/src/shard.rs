@@ -1,0 +1,116 @@
+//! Deterministic round-robin partitioning of a scenario's grid points.
+
+use std::fmt;
+
+/// One shard of an `N`-way partition of a scenario's grid.
+///
+/// Shards are 1-based (`1 <= index <= count`, matching the CLI's
+/// `--shard i/N` spelling) and assign grid points round-robin over the
+/// ordered point list: shard `i` owns every point with
+/// `point.index % count == index - 1`. Round-robin keeps shards balanced
+/// (sizes differ by at most one point) and stable — the partition depends
+/// only on `(index, count)` and the grid enumeration order, never on
+/// timing or thread schedule, so re-running a shard reproduces exactly the
+/// same records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard index.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl ShardSpec {
+    /// Validates and builds a shard spec. `count` must be at least 1 and
+    /// `index` within `1..=count`.
+    pub fn new(index: u64, count: u64) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index == 0 || index > count {
+            return Err(format!(
+                "shard index {index} out of range 1..={count} (shards are 1-based)"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI spelling `INDEX/COUNT` (e.g. `2/4`).
+    pub fn parse(raw: &str) -> Result<ShardSpec, String> {
+        let Some((index_raw, count_raw)) = raw.split_once('/') else {
+            return Err(format!("'{raw}' is not INDEX/COUNT (e.g. 2/4)"));
+        };
+        let index = index_raw
+            .parse::<u64>()
+            .map_err(|_| format!("'{raw}': shard index '{index_raw}' is not an unsigned integer"))?;
+        let count = count_raw
+            .parse::<u64>()
+            .map_err(|_| format!("'{raw}': shard count '{count_raw}' is not an unsigned integer"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// The trivial 1/1 partition (every point).
+    pub fn full() -> ShardSpec {
+        ShardSpec { index: 1, count: 1 }
+    }
+
+    /// Whether this shard owns the grid point at `point_index`.
+    pub fn owns(&self, point_index: u64) -> bool {
+        point_index % self.count == self.index - 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_every_point_exactly_once() {
+        for count in 1..=6u64 {
+            for point in 0..40u64 {
+                let owners: Vec<u64> = (1..=count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(point))
+                    .collect();
+                assert_eq!(owners.len(), 1, "point {point} count {count}: {owners:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        let points = 41u64;
+        let count = 4u64;
+        let sizes: Vec<usize> = (1..=count)
+            .map(|i| {
+                let shard = ShardSpec::new(i, count).unwrap();
+                (0..points).filter(|&p| shard.owns(p)).count()
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), points as usize);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn parse_accepts_the_cli_spelling_and_rejects_malformed_input() {
+        assert_eq!(ShardSpec::parse("2/4").unwrap(), ShardSpec { index: 2, count: 4 });
+        assert_eq!(ShardSpec::parse("1/1").unwrap(), ShardSpec::full());
+        assert!(ShardSpec::parse("0/4").is_err(), "shards are 1-based");
+        assert!(ShardSpec::parse("5/4").is_err(), "index beyond count");
+        assert!(ShardSpec::parse("x/y").is_err(), "non-numeric");
+        assert!(ShardSpec::parse("3").is_err(), "missing the slash");
+        assert!(ShardSpec::parse("3/0").is_err(), "zero shards");
+        assert!(ShardSpec::parse("-1/4").is_err(), "negative index");
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let shard = ShardSpec::new(3, 5).unwrap();
+        assert_eq!(ShardSpec::parse(&shard.to_string()).unwrap(), shard);
+    }
+}

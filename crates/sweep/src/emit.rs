@@ -52,7 +52,11 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-fn record_json(r: &RunRecord) -> String {
+/// Serializes one record as a single-line JSON object — the exact byte
+/// form embedded in [`to_json`] exports and streamed over the
+/// `sweep-serve` wire protocol (`rlnc-serve`), so a client reassembling
+/// streamed records re-exports byte-identical documents.
+pub fn record_json(r: &RunRecord) -> String {
     format!(
         concat!(
             "{{\"scenario\":\"{}\",\"point\":{},\"family\":\"{}\",\"n\":{},",
@@ -140,24 +144,7 @@ pub fn from_json(text: &str) -> Result<SweepRun, String> {
     let records_value = json::get(obj, "records")?;
     let mut records = Vec::new();
     for (i, rv) in records_value.as_array("records")?.iter().enumerate() {
-        let r = rv.as_object(&format!("records[{i}]"))?;
-        records.push(RunRecord {
-            scenario: json::get(r, "scenario")?.as_string("scenario")?,
-            point: json::get(r, "point")?.as_u64("point")?,
-            family: json::get(r, "family")?.as_string("family")?,
-            n: json::get(r, "n")?.as_u64("n")?,
-            id_scheme: json::get(r, "id_scheme")?.as_string("id_scheme")?,
-            workload: json::get(r, "workload")?.as_string("workload")?,
-            param_a: json::get(r, "param_a")?.as_u64("param_a")?,
-            param_b: json::get(r, "param_b")?.as_u64("param_b")?,
-            trials: json::get(r, "trials")?.as_u64("trials")?,
-            seed: json::get(r, "seed")?.as_u64("seed")?,
-            successes: json::get(r, "successes")?.as_u64("successes")?,
-            p_hat: json::get(r, "p_hat")?.as_f64("p_hat")?,
-            lower: json::get(r, "lower")?.as_f64("lower")?,
-            upper: json::get(r, "upper")?.as_f64("upper")?,
-            mean_value: json::get(r, "mean_value")?.as_f64("mean_value")?,
-        });
+        records.push(record_from_json(rv, &format!("records[{i}]"))?);
     }
     Ok(SweepRun {
         scenario: json::get(obj, "scenario")?.as_string("scenario")?,
@@ -166,6 +153,89 @@ pub fn from_json(text: &str) -> Result<SweepRun, String> {
         scale: json::get(obj, "scale")?.as_string("scale")?,
         master_seed: json::get(obj, "master_seed")?.as_u64("master_seed")?,
         records,
+    })
+}
+
+/// Parses one record object (the [`record_json`] shape) from a parsed JSON
+/// value; `what` names the value in error messages. The inverse of
+/// [`record_json`], shared by [`from_json`] and the `sweep-serve` protocol
+/// parser.
+pub fn record_from_json(value: &json::Value, what: &str) -> Result<RunRecord, String> {
+    let r = value.as_object(what)?;
+    Ok(RunRecord {
+        scenario: json::get(r, "scenario")?.as_string("scenario")?,
+        point: json::get(r, "point")?.as_u64("point")?,
+        family: json::get(r, "family")?.as_string("family")?,
+        n: json::get(r, "n")?.as_u64("n")?,
+        id_scheme: json::get(r, "id_scheme")?.as_string("id_scheme")?,
+        workload: json::get(r, "workload")?.as_string("workload")?,
+        param_a: json::get(r, "param_a")?.as_u64("param_a")?,
+        param_b: json::get(r, "param_b")?.as_u64("param_b")?,
+        trials: json::get(r, "trials")?.as_u64("trials")?,
+        seed: json::get(r, "seed")?.as_u64("seed")?,
+        successes: json::get(r, "successes")?.as_u64("successes")?,
+        p_hat: json::get(r, "p_hat")?.as_f64("p_hat")?,
+        lower: json::get(r, "lower")?.as_f64("lower")?,
+        upper: json::get(r, "upper")?.as_f64("upper")?,
+        mean_value: json::get(r, "mean_value")?.as_f64("mean_value")?,
+    })
+}
+
+/// Merges shard runs (e.g. the exports of `sweep --shard i/N` for each
+/// `i`) into one run.
+///
+/// All inputs must agree on the run metadata (scenario, description,
+/// workload, scale, master seed). Records are keyed by grid-point index:
+/// byte-identical duplicates are deduplicated (re-running a shard is
+/// harmless), while *conflicting* records for the same
+/// `(scenario, point, trials)` key — same point, different content — are
+/// rejected with an error naming the point, since silently keeping either
+/// would hide a seed or scenario mismatch. Output records are sorted by
+/// point index, i.e. grid order, so merging the complete shard set of a
+/// scenario reproduces the single-process export byte-for-byte.
+pub fn merge_runs(runs: &[SweepRun]) -> Result<SweepRun, String> {
+    let Some(first) = runs.first() else {
+        return Err("nothing to merge: no runs given".into());
+    };
+    let mut by_point: std::collections::BTreeMap<u64, &RunRecord> = std::collections::BTreeMap::new();
+    for run in runs {
+        if run.scenario != first.scenario
+            || run.description != first.description
+            || run.workload != first.workload
+            || run.scale != first.scale
+            || run.master_seed != first.master_seed
+        {
+            return Err(format!(
+                "cannot merge: run metadata mismatch (scenario '{}' scale '{}' seed {} \
+                 vs scenario '{}' scale '{}' seed {})",
+                first.scenario, first.scale, first.master_seed,
+                run.scenario, run.scale, run.master_seed,
+            ));
+        }
+        for r in &run.records {
+            match by_point.get(&r.point) {
+                None => {
+                    by_point.insert(r.point, r);
+                }
+                Some(prev) if *prev == r => {} // identical duplicate: dedup
+                Some(prev) => {
+                    return Err(format!(
+                        "conflicting records for (scenario '{}', point {}, trials {}): \
+                         successes {} vs {}, seed {} vs {}",
+                        r.scenario, r.point, r.trials, prev.successes, r.successes, prev.seed,
+                        r.seed,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(SweepRun {
+        scenario: first.scenario.clone(),
+        description: first.description.clone(),
+        workload: first.workload.clone(),
+        scale: first.scale.clone(),
+        master_seed: first.master_seed,
+        records: by_point.into_values().cloned().collect(),
     })
 }
 
@@ -256,6 +326,14 @@ pub mod json {
                 _ => Err(format!("{what}: expected a JSON number")),
             }
         }
+    }
+
+    /// Escapes a string for embedding in a JSON document, byte-compatible
+    /// with this workspace's exact emitters (quotes, backslashes, named
+    /// control escapes, `\u00xx` for the rest of the control range;
+    /// everything else raw UTF-8).
+    pub fn escape(s: &str) -> String {
+        super::escape_json(s)
     }
 
     /// Looks a key up in an object.
@@ -607,6 +685,52 @@ mod tests {
         assert!(from_json("[1, 2]").unwrap_err().contains("object"));
         assert!(json::parse("{\"a\": 1} trailing").is_err());
         assert!(json::parse("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn merge_runs_reassembles_shards_dedups_and_sorts() {
+        let run = demo_run();
+        // Shard split: point 1 in one run, point 0 in the other (out of
+        // order), with point 0 duplicated byte-identically across both.
+        let shard_a = SweepRun {
+            records: vec![run.records[1].clone(), run.records[0].clone()],
+            ..run.clone()
+        };
+        let shard_b = SweepRun {
+            records: vec![run.records[0].clone()],
+            ..run.clone()
+        };
+        let merged = merge_runs(&[shard_a, shard_b]).expect("merge");
+        assert_eq!(merged, run);
+        assert_eq!(to_json(&merged), to_json(&run));
+    }
+
+    #[test]
+    fn merge_runs_rejects_conflicts_and_metadata_mismatches() {
+        let run = demo_run();
+        assert!(merge_runs(&[]).unwrap_err().contains("no runs"));
+
+        // Same point, different content: a conflict, not a dedup.
+        let mut conflicting = run.clone();
+        conflicting.records[0].successes += 1;
+        let err = merge_runs(&[run.clone(), conflicting]).unwrap_err();
+        assert!(err.contains("conflicting records"), "unexpected error: {err}");
+        assert!(err.contains("point 0"), "error names the point: {err}");
+
+        // Mismatched run metadata (e.g. different master seed).
+        let mut reseeded = run.clone();
+        reseeded.master_seed ^= 1;
+        let err = merge_runs(&[run, reseeded]).unwrap_err();
+        assert!(err.contains("metadata mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn record_json_round_trips_through_record_from_json() {
+        let record = demo_run().records[0].clone();
+        let line = record_json(&record);
+        let back = record_from_json(&json::parse(&line).unwrap(), "record").unwrap();
+        assert_eq!(back, record);
+        assert_eq!(record_json(&back), line);
     }
 
     #[test]

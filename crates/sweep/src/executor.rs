@@ -131,6 +131,40 @@ impl SweepExecutor {
         self.resume(spec, &[])
     }
 
+    /// Runs shard `index` of `count` of `spec`'s grid: the round-robin
+    /// subset of points with `point.index % count == index - 1` (shards are
+    /// 1-based, balanced, and stable under re-runs). Each grid point's seed
+    /// branch depends only on its index, so concatenating the records of
+    /// all `count` shards reproduces a full [`run`](Self::run)
+    /// bit-for-bit (see `emit::merge_runs`).
+    ///
+    /// # Panics
+    /// Panics if `spec` is invalid or `(index, count)` is not a valid
+    /// 1-based shard (`1 <= index <= count`). The CLI validates `--shard`
+    /// before calling through (`rlnc-serve`'s `ShardSpec::parse`).
+    pub fn run_shard(&self, spec: &ScenarioSpec, index: u64, count: u64) -> SweepRun {
+        self.resume_shard(spec, &[], index, count)
+    }
+
+    /// [`resume`](Self::resume) restricted to shard `index` of `count`
+    /// (see [`run_shard`](Self::run_shard)).
+    ///
+    /// # Panics
+    /// Panics if `spec` is invalid or the shard coordinates are.
+    pub fn resume_shard(
+        &self,
+        spec: &ScenarioSpec,
+        existing: &[RunRecord],
+        index: u64,
+        count: u64,
+    ) -> SweepRun {
+        assert!(
+            count >= 1 && index >= 1 && index <= count,
+            "invalid shard {index}/{count}: need 1 <= index <= count"
+        );
+        self.resume_where(spec, existing, |p| p.index % count == index - 1)
+    }
+
     /// Runs `spec`, skipping grid points for which `existing` already holds
     /// a matching record (same scenario, point index, grid coordinates,
     /// trial count, and seed — i.e. a record this executor would reproduce
@@ -140,12 +174,31 @@ impl SweepExecutor {
     /// # Panics
     /// Panics if `spec` fails [`ScenarioSpec::validate`].
     pub fn resume(&self, spec: &ScenarioSpec, existing: &[RunRecord]) -> SweepRun {
+        self.resume_where(spec, existing, |_| true)
+    }
+
+    /// The general run path [`resume`](Self::resume) and the shard drivers
+    /// share: runs exactly the grid points selected by `keep`, reusing
+    /// matching records from `existing`. The returned run carries only the
+    /// kept points' records, in grid order; because every point's seed
+    /// branch and workload setup are derived independently, a filtered run
+    /// computes records bit-identical to the same points of a full run.
+    ///
+    /// # Panics
+    /// Panics if `spec` fails [`ScenarioSpec::validate`].
+    pub fn resume_where(
+        &self,
+        spec: &ScenarioSpec,
+        existing: &[RunRecord],
+        keep: impl Fn(&GridPoint) -> bool,
+    ) -> SweepRun {
         if let Err(e) = spec.validate() {
             panic!("invalid scenario: {e}");
         }
         let _span = OBS_RESUME_SPAN.start();
         OBS_RUNS.inc();
-        let points = spec.grid(self.scale);
+        let points: Vec<GridPoint> =
+            spec.grid(self.scale).into_iter().filter(|p| keep(p)).collect();
         let scenario_seq = self.scenario_sequence(&spec.name);
 
         let reusable: HashMap<u64, &RunRecord> = existing
@@ -374,6 +427,50 @@ mod tests {
             exec.scenario_sequence("a").seed(),
             exec.scenario_sequence("b").seed()
         );
+    }
+
+    #[test]
+    fn shard_runs_partition_the_grid_and_match_the_full_run() {
+        let spec = smoke_spec();
+        let exec = SweepExecutor::new(Scale::Smoke).with_seed(77);
+        let full = exec.run(&spec);
+        for count in [2u64, 3] {
+            let shards: Vec<SweepRun> =
+                (1..=count).map(|i| exec.run_shard(&spec, i, count)).collect();
+            // Shards are disjoint, cover the grid, and reproduce the full
+            // run's records bit-for-bit.
+            let mut all: Vec<RunRecord> =
+                shards.iter().flat_map(|s| s.records.iter().cloned()).collect();
+            assert_eq!(all.len(), full.records.len());
+            all.sort_by_key(|r| r.point);
+            assert_eq!(all, full.records);
+            for (i, shard) in shards.iter().enumerate() {
+                assert!(shard.records.iter().all(|r| r.point % count == i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_runs_resume_like_full_runs() {
+        let spec = smoke_spec();
+        let exec = SweepExecutor::new(Scale::Smoke).with_seed(31);
+        let shard = exec.run_shard(&spec, 2, 2);
+        let resumed = exec.resume_shard(&spec, &shard.records, 2, 2);
+        assert_eq!(resumed, shard);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn zero_based_shard_indices_are_rejected() {
+        let spec = smoke_spec();
+        let _ = SweepExecutor::new(Scale::Smoke).run_shard(&spec, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn out_of_range_shard_indices_are_rejected() {
+        let spec = smoke_spec();
+        let _ = SweepExecutor::new(Scale::Smoke).run_shard(&spec, 5, 4);
     }
 
     #[test]

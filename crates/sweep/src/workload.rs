@@ -278,10 +278,14 @@ impl Workload {
                 // Fully fixed instances (deterministic family *and* id
                 // scheme) are planned once: the engine caches every node's
                 // view for all trials of the grid point.
+                // Plan construction goes through the process-global shared
+                // cache (`rlnc-engine`), which is a plain `for_instance`
+                // unless a resident server opted in — then repeat requests
+                // reuse the plan across requests.
                 let plan = match &fixed {
                     Some((graph, input, Some(ids))) => {
                         let instance = Instance::new(graph, input, ids);
-                        Some(ExecutionPlan::for_instance(&instance, 0))
+                        Some(rlnc_engine::shared_plan_for_instance(&instance, 0))
                     }
                     _ => None,
                 };
@@ -304,7 +308,8 @@ impl Workload {
                 // decision configuration is planned once; a trial only
                 // re-draws the decider's coins.
                 let io = IoConfig::new(&graph, &input, &output);
-                let plan = ExecutionPlan::for_io(&io, &ids, RandomizedDecider::radius(&decider));
+                let plan =
+                    rlnc_engine::shared_plan_for_io(&io, &ids, RandomizedDecider::radius(&decider));
                 Prepared::Resilient { decider, plan }
             }
             Workload::BoostingUnion {
@@ -323,15 +328,17 @@ impl Workload {
                 );
                 let decider = RejectBadBallsDecider::new(colors, decider_p);
                 let instance = union.as_instance();
-                let construction_plan = ExecutionPlan::for_instance(
+                let construction_plan = rlnc_engine::shared_plan_for_instance(
                     &instance,
                     RandomizedLocalAlgorithm::radius(&constructor),
                 );
                 // The decider's outputs vary per trial, so its plan carries
                 // construction views whose outputs a per-batch
                 // [`DecisionScratch`] refreshes.
-                let decision_plan =
-                    ExecutionPlan::for_instance(&instance, RandomizedDecider::radius(&decider));
+                let decision_plan = rlnc_engine::shared_plan_for_instance(
+                    &instance,
+                    RandomizedDecider::radius(&decider),
+                );
                 Prepared::Boosting {
                     constructor,
                     decider,
@@ -424,7 +431,7 @@ impl Workload {
                 let instance = Instance::new(&graph, &input, &ids);
                 let round_plan = RoundPlan::for_instance(&instance, case.constructor_radius());
                 let decision_plan =
-                    ExecutionPlan::for_instance(&instance, case.checking_radius());
+                    rlnc_engine::shared_plan_for_instance(&instance, case.checking_radius());
                 Prepared::FaultMatrix {
                     constructor: case.constructor,
                     decider: case.decider,

@@ -1,0 +1,67 @@
+//! Shard partition equivalence, pinned across the whole registry: for
+//! every built-in scenario and every shard count N in {2, 3, 5}, the
+//! concatenation of all N shard runs equals the full run record-for-
+//! record, and `emit::merge_runs` over the shard exports reproduces the
+//! single-process JSON export byte-for-byte (the property `sweep-merge`
+//! and the CI shard job rely on).
+
+use rlnc_par::Scale;
+use rlnc_sweep::{emit, Registry, RunRecord, SweepExecutor, SweepRun};
+
+const SHARD_COUNTS: [u64; 3] = [2, 3, 5];
+const SEED: u64 = 0x5EED_0008;
+
+#[test]
+fn every_scenario_shards_and_merges_byte_identically() {
+    let registry = Registry::builtin();
+    let exec = SweepExecutor::new(Scale::Smoke).with_seed(SEED);
+    for name in registry.names() {
+        let spec = registry.get(name).expect("registry scenario");
+        let full = exec.run(spec);
+        let full_json = emit::to_json(&full);
+        for count in SHARD_COUNTS {
+            let shards: Vec<SweepRun> =
+                (1..=count).map(|i| exec.run_shard(spec, i, count)).collect();
+
+            // Concatenation covers the grid exactly once, record-for-record.
+            let mut concat: Vec<RunRecord> =
+                shards.iter().flat_map(|s| s.records.iter().cloned()).collect();
+            assert_eq!(
+                concat.len(),
+                full.records.len(),
+                "{name} x{count}: shards partition the grid"
+            );
+            concat.sort_by_key(|r| r.point);
+            assert_eq!(concat, full.records, "{name} x{count}: records match bit-for-bit");
+
+            // Merging the shard exports is byte-identical to the
+            // single-process export — including through a JSON round-trip,
+            // the exact path `sweep-merge` takes over shard files.
+            let merged = emit::merge_runs(&shards).expect("merge shards");
+            assert_eq!(
+                emit::to_json(&merged),
+                full_json,
+                "{name} x{count}: merged export is byte-identical"
+            );
+            let reparsed: Vec<SweepRun> = shards
+                .iter()
+                .map(|s| emit::from_json(&emit::to_json(s)).expect("shard export parses"))
+                .collect();
+            let merged_from_files = emit::merge_runs(&reparsed).expect("merge parsed shards");
+            assert_eq!(emit::to_json(&merged_from_files), full_json);
+        }
+    }
+}
+
+#[test]
+fn shard_merge_detects_cross_seed_conflicts() {
+    let registry = Registry::builtin();
+    let spec = registry.get("smoke").expect("smoke scenario");
+    let a = SweepExecutor::new(Scale::Smoke).with_seed(1).run_shard(spec, 1, 2);
+    let mut b = SweepExecutor::new(Scale::Smoke).with_seed(2).run_shard(spec, 1, 2);
+    // Same master_seed metadata forged, conflicting record content: the
+    // merge must refuse rather than silently emit both.
+    b.master_seed = a.master_seed;
+    let err = emit::merge_runs(&[a, b]).expect_err("conflicting shards rejected");
+    assert!(err.contains("conflicting records"), "unexpected error: {err}");
+}

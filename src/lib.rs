@@ -23,6 +23,9 @@
 //! * [`sweep`] — the declarative scenario-sweep engine: named grids over
 //!   graph family × size × identity scheme × workload, a batched
 //!   reproducible executor, and JSON/CSV/markdown result export.
+//! * [`serve`] — sharded sweep execution (`ShardSpec`, `sweep --shard`)
+//!   and the resident `sweep-serve` service: a line-protocol server with
+//!   warm plan caches, streamed records, and a matching client.
 //! * [`obs`] — zero-dependency observability: a process-global registry of
 //!   atomic counters/gauges/histograms/spans, disabled by default, whose
 //!   exports split into a *deterministic* section (byte-identical across
@@ -55,6 +58,7 @@ pub use rlnc_graph as graph;
 pub use rlnc_langs as langs;
 pub use rlnc_obs as obs;
 pub use rlnc_par as par;
+pub use rlnc_serve as serve;
 pub use rlnc_sweep as sweep;
 
 /// The most commonly used items across the workspace.
