@@ -717,10 +717,11 @@ fn sweep_merge_main(args: &[String]) {
                 }
             }
         }
-        let Some(mut combined) = docs.drain(..).next() else {
+        let mut iter = docs.iter();
+        let Some(mut combined) = iter.next().cloned() else {
             usage_error("--trace-out requires at least one --trace input");
         };
-        for doc in &docs[..] {
+        for doc in iter {
             if let Err(e) = combined.merge(doc) {
                 status::warn(&format!("cannot merge traces: {e}"));
                 std::process::exit(1);

@@ -502,6 +502,89 @@ fn sweep_shard_exports_merge_byte_identically_to_the_full_run() {
     let _ = std::fs::remove_file(tmp.join(format!("rlnc-shard-otherseed-{pid}.json")));
 }
 
+#[test]
+fn sweep_merge_combines_all_shard_traces_not_just_the_first() {
+    let exe = env!("CARGO_BIN_EXE_rlnc-experiments");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let out_paths: Vec<_> =
+        (1..=2).map(|i| tmp.join(format!("rlnc-trmerge-{i}of2-{pid}.json"))).collect();
+    let trace_paths: Vec<_> = (1..=2)
+        .map(|i| tmp.join(format!("rlnc-trmerge-trace-{i}of2-{pid}.json")))
+        .collect();
+    let merged_trace = tmp.join(format!("rlnc-trmerge-merged-{pid}.json"));
+
+    for i in 0..2 {
+        let output = std::process::Command::new(exe)
+            .args(["sweep", "--scenario", "fault-matrix", "--scale", "smoke", "--seed", "9"])
+            .args(["--shard", &format!("{}/2", i + 1)])
+            .arg("--out")
+            .arg(&out_paths[i])
+            .arg("--trace-out")
+            .arg(&trace_paths[i])
+            .arg("--quiet")
+            .output()
+            .expect("failed to spawn rlnc-experiments sweep");
+        assert!(
+            output.status.success(),
+            "shard sweep failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+
+    let merge = std::process::Command::new(exe)
+        .arg("sweep-merge")
+        .args(&out_paths)
+        .arg("--trace")
+        .arg(&trace_paths[0])
+        .arg("--trace")
+        .arg(&trace_paths[1])
+        .arg("--trace-out")
+        .arg(&merged_trace)
+        .arg("--quiet")
+        .output()
+        .expect("failed to spawn sweep-merge");
+    assert!(
+        merge.status.success(),
+        "sweep-merge failed: {}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+
+    let counter = |doc: &rlnc_obs::TraceDocument, key: &str| match doc.deterministic.get(key) {
+        Some(rlnc_obs::MetricValue::Counter(n)) => *n,
+        other => panic!("{key}: expected a counter, got {other:?}"),
+    };
+    let docs: Vec<_> = trace_paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).expect("shard trace written");
+            rlnc_experiments::trace::from_json(&text).expect("shard trace parses")
+        })
+        .collect();
+    let merged = rlnc_experiments::trace::from_json(
+        &std::fs::read_to_string(&merged_trace).expect("merged trace written"),
+    )
+    .expect("merged trace parses");
+
+    // Every shard's counters land in the merged document: each shard
+    // process records sweep.runs = 1, so the merge must report 2 — a merge
+    // that keeps only the first trace would report 1.
+    assert_eq!(counter(&merged, "sweep.runs"), 2);
+    assert_eq!(
+        counter(&merged, "sweep.points.completed"),
+        counter(&docs[0], "sweep.points.completed")
+            + counter(&docs[1], "sweep.points.completed"),
+    );
+    // And the whole document equals the library-level merge of the inputs.
+    let mut expected = docs[0].clone();
+    expected.merge(&docs[1]).expect("shard traces merge");
+    assert_eq!(merged.to_json(), expected.to_json());
+
+    for path in out_paths.iter().chain(&trace_paths).chain([&merged_trace]) {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// Kills the resident server on drop so a failing assertion can't leak the
 /// child process into the test harness.
 struct ServerGuard(std::process::Child);

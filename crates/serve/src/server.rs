@@ -198,14 +198,37 @@ impl SweepServer {
         }
     }
 
-    /// Binds to `endpoint`. A stale Unix socket file at the path is
-    /// removed first (the server owns its socket path); a TCP port of 0 is
-    /// resolved to the actual bound port in the returned server's
-    /// [`endpoint`](BoundServer::endpoint).
+    /// Binds to `endpoint`. A *stale* Unix socket file at the path — one no
+    /// server answers on — is removed first; if a live server is still
+    /// listening there, binding fails instead of silently stealing its
+    /// endpoint. A TCP port of 0 is resolved to the actual bound port in
+    /// the returned server's [`endpoint`](BoundServer::endpoint).
     pub fn bind(self, endpoint: &Endpoint) -> Result<BoundServer, String> {
         match endpoint {
             Endpoint::Unix(path) => {
-                let _ = std::fs::remove_file(path);
+                match UnixStream::connect(path) {
+                    Ok(_) => {
+                        return Err(format!(
+                            "cannot bind {endpoint}: a server is already listening on this \
+                             socket (remove the file only if you are sure it is dead)"
+                        ));
+                    }
+                    // Nothing there yet: bind will create the file.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    // A socket exists but no one answers — a dead server's
+                    // leftover: reclaim the path. Anything that is not a
+                    // socket is left alone; the bind below reports the
+                    // address-in-use error.
+                    Err(_) => {
+                        use std::os::unix::fs::FileTypeExt;
+                        let stale_socket = std::fs::metadata(path)
+                            .map(|m| m.file_type().is_socket())
+                            .unwrap_or(false);
+                        if stale_socket {
+                            let _ = std::fs::remove_file(path);
+                        }
+                    }
+                }
                 let listener = UnixListener::bind(path)
                     .map_err(|e| format!("cannot bind {}: {e}", endpoint))?;
                 Ok(BoundServer {
@@ -282,12 +305,7 @@ impl SweepServer {
         };
         let shard = shard.unwrap_or_else(ShardSpec::full);
         let executor = SweepExecutor::new(scale).with_seed(seed);
-        let own: Vec<u64> = spec
-            .grid(scale)
-            .iter()
-            .filter(|p| shard.owns(p.index))
-            .map(|p| p.index)
-            .collect();
+        let points = spec.grid(scale).iter().filter(|p| shard.owns(p.index)).count() as u64;
         let cache_before = rlnc_engine::shared_plan_cache_stats();
         Self::send(
             writer,
@@ -297,19 +315,23 @@ impl SweepServer {
                 workload: spec.workload.name().to_string(),
                 scale: scale.name().to_string(),
                 master_seed: seed,
-                points: own.len() as u64,
+                points,
             },
         )?;
-        let mut streamed = 0u64;
-        for index in own {
-            let one = executor.resume_where(spec, &[], |p| p.index == index);
-            for record in one.records {
+        // One streamed run: the spec is validated and the grid enumerated
+        // once, and the obs counters (`sweep.runs`, the resume span) match
+        // a local sharded run of the same points.
+        let streamed = executor.stream_where(
+            spec,
+            &[],
+            |p| shard.owns(p.index),
+            |record| {
                 Self::send(writer, &Response::Record { record })?;
-                streamed += 1;
                 self.records_streamed.fetch_add(1, Ordering::AcqRel);
                 OBS_RECORDS.inc();
-            }
-        }
+                Ok::<(), io::Error>(())
+            },
+        )?;
         let cache_after = rlnc_engine::shared_plan_cache_stats();
         Self::send(
             writer,
@@ -470,5 +492,39 @@ mod tests {
         assert!(Endpoint::parse("unix:").is_err());
         assert!(Endpoint::parse("tcp:").is_err());
         assert!(Endpoint::parse("udp:1.2.3.4:5").is_err());
+    }
+
+    #[test]
+    fn binding_a_live_unix_socket_fails_instead_of_stealing_it() {
+        let path = std::env::temp_dir()
+            .join(format!("rlnc-serve-bind-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let endpoint = Endpoint::Unix(path.clone());
+
+        // First bind succeeds and holds the socket live.
+        let first = SweepServer::new().bind(&endpoint).expect("first bind");
+        let Err(err) = SweepServer::new().bind(&endpoint) else {
+            panic!("second bind must fail");
+        };
+        assert!(err.contains("already listening"), "unexpected error: {err}");
+        // The live server's socket file is untouched.
+        assert!(path.exists(), "second bind must not unlink the live socket");
+        drop(first);
+
+        // Once the first server is gone the file is a stale socket and the
+        // path can be reclaimed.
+        assert!(path.exists(), "dropping the listener leaves a stale socket file");
+        let reclaimed = SweepServer::new().bind(&endpoint).expect("stale socket reclaimed");
+        drop(reclaimed);
+
+        // A non-socket file at the path is never deleted: bind fails.
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"not a socket").unwrap();
+        let Err(err) = SweepServer::new().bind(&endpoint) else {
+            panic!("regular file must not bind");
+        };
+        assert!(err.contains("cannot bind"), "unexpected error: {err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"not a socket");
+        let _ = std::fs::remove_file(&path);
     }
 }

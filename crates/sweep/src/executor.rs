@@ -215,6 +215,86 @@ impl SweepExecutor {
             })
             .collect();
 
+        let computed = self.compute_points(spec, &todo, scenario_seq);
+
+        let records = points
+            .iter()
+            .map(|p| match computed.get(&p.index) {
+                Some(r) => r.clone(),
+                None => (*reusable[&p.index]).clone(),
+            })
+            .collect();
+
+        SweepRun {
+            scenario: spec.name.clone(),
+            description: spec.description.clone(),
+            workload: spec.workload.name().to_string(),
+            scale: self.scale.name().to_string(),
+            master_seed: self.master_seed,
+            records,
+        }
+    }
+
+    /// Streaming variant of [`resume_where`](Self::resume_where): runs the
+    /// kept grid points one at a time (trial batches still execute in
+    /// parallel within a point) and hands each point's record to
+    /// `on_record` as soon as it completes, in grid order. Validation,
+    /// grid enumeration, and run-level obs accounting (`sweep.runs`, the
+    /// resume span) happen once per call, so a streamed run counts as one
+    /// run and its point/trial counters sum to the non-streaming totals;
+    /// records are bit-identical to the same points of a non-streamed run.
+    /// Returns the number of records delivered, or the first `on_record`
+    /// error (remaining points are skipped).
+    ///
+    /// # Panics
+    /// Panics if `spec` fails [`ScenarioSpec::validate`].
+    pub fn stream_where<E>(
+        &self,
+        spec: &ScenarioSpec,
+        existing: &[RunRecord],
+        keep: impl Fn(&GridPoint) -> bool,
+        mut on_record: impl FnMut(RunRecord) -> Result<(), E>,
+    ) -> Result<u64, E> {
+        if let Err(e) = spec.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let _span = OBS_RESUME_SPAN.start();
+        OBS_RUNS.inc();
+        let points: Vec<GridPoint> =
+            spec.grid(self.scale).into_iter().filter(|p| keep(p)).collect();
+        let scenario_seq = self.scenario_sequence(&spec.name);
+
+        let reusable: HashMap<u64, &RunRecord> = existing
+            .iter()
+            .filter(|r| r.scenario == spec.name)
+            .map(|r| (r.point, r))
+            .collect();
+
+        let mut streamed = 0u64;
+        for p in &points {
+            let record = match reusable.get(&p.index) {
+                Some(r) if record_matches_point(r, p, scenario_seq, spec) => (*r).clone(),
+                _ => self
+                    .compute_points(spec, &[p], scenario_seq)
+                    .remove(&p.index)
+                    .expect("compute_points yields a record per todo point"),
+            };
+            on_record(record)?;
+            streamed += 1;
+        }
+        Ok(streamed)
+    }
+
+    /// The execution core shared by [`resume_where`](Self::resume_where)
+    /// and [`stream_where`](Self::stream_where): per-point setup, parallel
+    /// trial batches, and the schedule-independent fold into
+    /// [`RunRecord`]s, keyed by grid-point index.
+    fn compute_points(
+        &self,
+        spec: &ScenarioSpec,
+        todo: &[&GridPoint],
+        scenario_seq: SeedSequence,
+    ) -> HashMap<u64, RunRecord> {
         // Per-point setup once; trial batches share it read-only.
         let prepared: Vec<_> = todo
             .iter()
@@ -290,7 +370,7 @@ impl SweepExecutor {
         }
         let value_sums: Vec<f64> = values.iter().map(|v| v.iter().sum()).collect();
 
-        let computed: HashMap<u64, RunRecord> = prepared
+        prepared
             .iter()
             .enumerate()
             .map(|(slot, (p, point_seq, _))| {
@@ -314,24 +394,7 @@ impl SweepExecutor {
                 };
                 (p.index, record)
             })
-            .collect();
-
-        let records = points
-            .iter()
-            .map(|p| match computed.get(&p.index) {
-                Some(r) => r.clone(),
-                None => (*reusable[&p.index]).clone(),
-            })
-            .collect();
-
-        SweepRun {
-            scenario: spec.name.clone(),
-            description: spec.description.clone(),
-            workload: spec.workload.name().to_string(),
-            scale: self.scale.name().to_string(),
-            master_seed: self.master_seed,
-            records,
-        }
+            .collect()
     }
 }
 
@@ -448,6 +511,45 @@ mod tests {
                 assert!(shard.records.iter().all(|r| r.point % count == i as u64));
             }
         }
+    }
+
+    #[test]
+    fn stream_where_matches_resume_where_and_stops_on_error() {
+        let spec = smoke_spec();
+        let exec = SweepExecutor::new(Scale::Smoke).with_seed(17);
+        let full = exec.run(&spec);
+
+        // Streaming the full grid delivers the same records in grid order.
+        let mut streamed = Vec::new();
+        let n = exec
+            .stream_where(&spec, &[], |_| true, |r| {
+                streamed.push(r);
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        assert_eq!(n as usize, full.records.len());
+        assert_eq!(streamed, full.records);
+
+        // A shard filter with matching existing records re-serves them.
+        let shard: Vec<RunRecord> =
+            full.records.iter().filter(|r| r.point % 2 == 0).cloned().collect();
+        assert!(!shard.is_empty());
+        let mut resumed = Vec::new();
+        exec.stream_where(&spec, &shard, |p| p.index % 2 == 0, |r| {
+            resumed.push(r);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(resumed, shard);
+
+        // An on_record error propagates and stops the stream.
+        let mut delivered = 0;
+        let err = exec.stream_where(&spec, &[], |_| true, |_| {
+            delivered += 1;
+            Err("stop")
+        });
+        assert_eq!(err, Err("stop"));
+        assert_eq!(delivered, 1);
     }
 
     #[test]
