@@ -83,6 +83,30 @@ impl Label {
         &self.0
     }
 
+    /// Number of value bits in a packed SoA key ([`Label::packed_key`]).
+    pub const PACKED_VALUE_BITS: u32 = 56;
+
+    /// Packs the label into a single `u64` "SoA key": the byte length in
+    /// the top 8 bits, the big-endian value ([`Label::as_u64`]) in the
+    /// low 56. Defined exactly for labels of at most 7 bytes — every
+    /// label the workspace's languages emit — and injective there: two
+    /// labels have equal keys iff they are byte-for-byte equal (length
+    /// plus value determine the bytes, leading zeros included, so even
+    /// non-canonical encodings compare correctly). Returns `None` for
+    /// longer labels, which invalidates the caller's cached key array
+    /// rather than producing a wrong comparison.
+    pub fn packed_key(&self) -> Option<u64> {
+        (self.0.len() <= 7)
+            .then(|| ((self.0.len() as u64) << Self::PACKED_VALUE_BITS) | self.as_u64())
+    }
+
+    /// The value half of a packed key: for any label `l` with
+    /// `l.packed_key() == Some(k)`, `Label::key_value(k) == l.as_u64()`
+    /// — and the value half is nonzero exactly when `l.as_bool()`.
+    pub fn key_value(key: u64) -> u64 {
+        key & ((1u64 << Self::PACKED_VALUE_BITS) - 1)
+    }
+
     /// Length of the label in bytes (the quantity bounded by `F_k`).
     pub fn len(&self) -> usize {
         self.0.len()
@@ -276,6 +300,34 @@ mod tests {
         assert_eq!(Label::from_bytes(vec![1, 2]).as_u64(), 258);
         assert_eq!(Label::from(5u64).as_u64(), 5);
         assert_eq!(Label::from(true), Label::from_bool(true));
+    }
+
+    #[test]
+    fn packed_keys_are_injective_and_decode() {
+        let labels = [
+            Label::empty(),
+            Label::from_u64(0),
+            Label::from_u64(1),
+            Label::from_u64(255),
+            Label::from_u64(256),
+            Label::from_u64((1 << 56) - 1),
+            Label::from_bytes(vec![0, 5]),   // non-canonical 5
+            Label::from_bytes(vec![0, 0, 5]), // another non-canonical 5
+            Label::from_bool(true),
+            Label::from_bool(false),
+        ];
+        for a in &labels {
+            let ka = a.packed_key().expect("short labels always pack");
+            assert_eq!(Label::key_value(ka), a.as_u64());
+            assert_eq!(Label::key_value(ka) != 0, a.as_bool());
+            for b in &labels {
+                let kb = b.packed_key().unwrap();
+                assert_eq!(ka == kb, a == b, "key equality must be label equality: {a:?} {b:?}");
+            }
+        }
+        // 8-byte labels decode as u64 but exceed the 56-bit value field.
+        assert_eq!(Label::from_bytes(vec![1; 8]).packed_key(), None);
+        assert_eq!(Label::from_bytes(vec![0; 9]).packed_key(), None);
     }
 
     #[test]

@@ -28,6 +28,35 @@ pub struct View {
     /// Degree of the center in the host graph (known even at radius 0: a
     /// node always knows its own port count in the LOCAL model).
     host_degree: usize,
+    /// Packed-u64 SoA mirror of `inputs` (one [`Label::packed_key`] per
+    /// local index), valid when every input fits a key. The structure-of-
+    /// arrays layout behind the language layer's branchless verdict
+    /// kernels: one contiguous `u64` lane instead of pointer-chased label
+    /// bytes.
+    soa_inputs: Vec<u64>,
+    soa_inputs_valid: bool,
+    /// Packed-u64 SoA mirror of the output labels, maintained through
+    /// [`View::refresh_outputs`] without steady-state allocation.
+    soa_outputs: Vec<u64>,
+    soa_outputs_valid: bool,
+}
+
+/// Packs labels into their SoA key array; `valid` is false when any
+/// label is too long to pack (the array then keeps a placeholder so
+/// lengths stay in sync, but accessors hide it).
+fn pack_label_keys(labels: &[Label]) -> (Vec<u64>, bool) {
+    let mut keys = Vec::with_capacity(labels.len());
+    let mut valid = true;
+    for label in labels {
+        match label.packed_key() {
+            Some(key) => keys.push(key),
+            None => {
+                keys.push(0);
+                valid = false;
+            }
+        }
+    }
+    (keys, valid)
 }
 
 impl View {
@@ -41,15 +70,8 @@ impl View {
             .iter()
             .map(|&w| instance.input.get(w).clone())
             .collect();
-        View {
-            ball,
-            center: v,
-            radius,
-            ids,
-            inputs,
-            outputs: None,
-            host_degree: instance.graph.degree(v),
-        }
+        let host_degree = instance.graph.degree(v);
+        View::from_parts(ball, v, radius, ids, inputs, None, host_degree)
     }
 
     /// Collects the view of node `v` in an input-output configuration with
@@ -63,15 +85,8 @@ impl View {
             .iter()
             .map(|&w| io.output.get(w).clone())
             .collect();
-        View {
-            ball,
-            center: v,
-            radius,
-            ids: id_vec,
-            inputs,
-            outputs: Some(outputs),
-            host_degree: io.graph.degree(v),
-        }
+        let host_degree = io.graph.degree(v);
+        View::from_parts(ball, v, radius, id_vec, inputs, Some(outputs), host_degree)
     }
 
     /// Collects the views of **every** node of a construction instance in
@@ -146,6 +161,21 @@ impl View {
         if let Some(outs) = &outputs {
             assert_eq!(ball.len(), outs.len(), "one output label per ball member");
         }
+        // Lane maintenance is pure overhead for views no kernel reads
+        // through the SoA accessors: every branchless kernel walks
+        // `center_neighbor_indices()`, the radius-1 acceptance shape, so
+        // wider views (e.g. the radius-2 minimality languages) skip the
+        // lanes entirely — no packing on refresh, no memory growth.
+        let (soa_inputs, soa_inputs_valid, soa_outputs, soa_outputs_valid) = if radius == 1 {
+            let (si, siv) = pack_label_keys(&inputs);
+            let (so, sov) = match &outputs {
+                Some(outs) => pack_label_keys(outs),
+                None => (Vec::new(), false),
+            };
+            (si, siv, so, sov)
+        } else {
+            (Vec::new(), false, Vec::new(), false)
+        };
         View {
             ball,
             center,
@@ -154,6 +184,10 @@ impl View {
             inputs,
             outputs,
             host_degree,
+            soa_inputs,
+            soa_inputs_valid,
+            soa_outputs,
+            soa_outputs_valid,
         }
     }
 
@@ -163,20 +197,37 @@ impl View {
     /// anything — the per-trial refresh step of the engine's decision
     /// scratch.
     pub fn refresh_outputs(&mut self, output: &Labeling) {
+        let lanes = self.radius == 1;
         match &mut self.outputs {
             Some(outs) => {
-                for (slot, &w) in outs.iter_mut().zip(&self.ball.members) {
+                let mut valid = true;
+                for (i, (slot, &w)) in outs.iter_mut().zip(&self.ball.members).enumerate() {
                     slot.clone_from(output.get(w));
+                    if lanes {
+                        match slot.packed_key() {
+                            Some(key) => self.soa_outputs[i] = key,
+                            None => {
+                                self.soa_outputs[i] = 0;
+                                valid = false;
+                            }
+                        }
+                    }
                 }
+                self.soa_outputs_valid = lanes && valid;
             }
             None => {
-                self.outputs = Some(
-                    self.ball
-                        .members
-                        .iter()
-                        .map(|&w| output.get(w).clone())
-                        .collect(),
-                );
+                let outs: Vec<Label> = self
+                    .ball
+                    .members
+                    .iter()
+                    .map(|&w| output.get(w).clone())
+                    .collect();
+                if lanes {
+                    let (keys, valid) = pack_label_keys(&outs);
+                    self.soa_outputs = keys;
+                    self.soa_outputs_valid = valid;
+                }
+                self.outputs = Some(outs);
             }
         }
     }
@@ -204,7 +255,24 @@ impl View {
         if let Some(outs) = &self.outputs {
             total += label_bytes(outs);
         }
+        total += (self.soa_inputs.len() + self.soa_outputs.len()) * size_of::<u64>();
         total as u64
+    }
+
+    /// The packed-key SoA lane over the input labels, or `None` when the
+    /// view is not radius 1 or some input is too long to pack (kernels
+    /// must then take the byte-level fallback path).
+    /// `keys[i] == self.input(i).packed_key().unwrap()` when present.
+    pub fn soa_inputs(&self) -> Option<&[u64]> {
+        self.soa_inputs_valid.then_some(self.soa_inputs.as_slice())
+    }
+
+    /// The packed-key SoA lane over the output labels, or `None` when the
+    /// view is not radius 1, has no outputs yet, or some output is too
+    /// long to pack. `keys[i] == self.output(i).packed_key().unwrap()`
+    /// when present.
+    pub fn soa_outputs(&self) -> Option<&[u64]> {
+        (self.outputs.is_some() && self.soa_outputs_valid).then_some(self.soa_outputs.as_slice())
     }
 
     /// Number of nodes visible in the view.
@@ -489,6 +557,43 @@ mod tests {
         let z = Labeling::from_fn(&g, |_| Label::from_u64(7));
         views[0].refresh_outputs(&z);
         assert_eq!(views[0].output(0).as_u64(), 7);
+    }
+
+    #[test]
+    fn soa_lanes_mirror_the_labels() {
+        let (g, x, ids) = setup(8);
+        let inst = Instance::new(&g, &x, &ids);
+        let mut view = View::collect(&inst, NodeId(3), 1);
+        // Construction views have input keys but no output lane yet.
+        let in_keys = view.soa_inputs().expect("small labels always pack");
+        for i in 0..view.len() {
+            assert_eq!(in_keys[i], view.input(i).packed_key().unwrap());
+        }
+        assert!(view.soa_outputs().is_none());
+        // Refreshing outputs populates the output lane in lock-step.
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0) + 10));
+        view.refresh_outputs(&y);
+        let out_keys = view.soa_outputs().expect("small labels always pack");
+        for i in 0..view.len() {
+            assert_eq!(out_keys[i], view.output(i).packed_key().unwrap());
+        }
+        // An unpackable (8-byte) output invalidates the lane; packable
+        // outputs on a later refresh restore it.
+        let wide = Labeling::from_fn(&g, |_| Label::from_bytes(vec![1; 8]));
+        view.refresh_outputs(&wide);
+        assert!(view.soa_outputs().is_none());
+        view.refresh_outputs(&y);
+        assert!(view.soa_outputs().is_some());
+        // memory_bytes accounts for the SoA lanes.
+        let with_lanes = view.memory_bytes();
+        assert!(with_lanes > 0);
+        // Wider views never carry lanes: every SoA kernel walks the
+        // radius-1 neighborhood, so radius ≥ 2 skips the maintenance.
+        let mut wide_view = View::collect(&inst, NodeId(3), 2);
+        assert!(wide_view.soa_inputs().is_none());
+        wide_view.refresh_outputs(&y);
+        assert!(wide_view.soa_outputs().is_none());
+        assert_eq!(wide_view.output(wide_view.center_local()), y.get(NodeId(3)));
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! that closes the round-trip.
 //!
 //! [`collect`] snapshots the process-global `rlnc-obs` registry and
-//! injects the one metric the registry cannot see from inside: the
-//! vendored rayon stub's scoped-thread-spawn count
-//! ([`rlnc_par::sweep::scoped_spawn_count`]). Spawn counts depend on core
-//! count and work splitting, so they land in the **timing** section and
-//! never disturb the deterministic-section byte pins.
+//! injects the metrics the registry cannot see from inside: the
+//! persistent work-stealing pool's counters
+//! ([`rlnc_par::pool::stats`] — tasks dispatched, steals, parks,
+//! resident workers) plus the historical
+//! [`rlnc_par::sweep::scoped_spawn_count`] alias for the worker count.
+//! All of them depend on core count / `RLNC_THREADS` and scheduling
+//! luck, so they land in the **timing** section and never disturb the
+//! deterministic-section byte pins.
 //!
 //! [`from_json`] parses an `rlnc-trace-v1` document back into a
 //! [`TraceDocument`] via the shared `rlnc-sweep` JSON parser;
@@ -16,13 +19,27 @@
 use rlnc_obs::{MetricValue, MetricsSnapshot, TraceDocument};
 use rlnc_sweep::emit::json;
 
-/// The timing-section name under which the rayon spawn count is exported.
+/// The timing-section name under which the pool's resident worker
+/// count is exported. Kept under its historical name (the pre-pool
+/// stub spawned scoped threads per region) so traces stay comparable
+/// across the transition; it now equals `pool.workers`.
 pub const RAYON_SPAWNS_METRIC: &str = "rayon.scoped_spawns";
 
+/// Timing-section names for the work-stealing pool counters, in the
+/// order they are inserted.
+pub const POOL_METRICS: [&str; 4] = ["pool.tasks", "pool.steals", "pool.parks", "pool.workers"];
+
 /// Snapshots the registry into a [`TraceDocument`] and appends the
-/// cumulative rayon scoped-spawn count to the timing section.
+/// work-stealing pool's cumulative counters (plus the historical rayon
+/// spawn-count alias) to the timing section.
 pub fn collect() -> TraceDocument {
     let mut doc = rlnc_obs::snapshot();
+    let pool = rlnc_par::pool::stats();
+    let [tasks, steals, parks, workers] = POOL_METRICS;
+    doc.timing.insert(tasks, MetricValue::Counter(pool.tasks));
+    doc.timing.insert(steals, MetricValue::Counter(pool.steals));
+    doc.timing.insert(parks, MetricValue::Counter(pool.parks));
+    doc.timing.insert(workers, MetricValue::Counter(pool.workers));
     doc.timing.insert(
         RAYON_SPAWNS_METRIC,
         MetricValue::Counter(rlnc_par::sweep::scoped_spawn_count()),
@@ -118,6 +135,25 @@ mod tests {
             ),
             "the spawn counter must be present even when obs is disabled"
         );
+    }
+
+    #[test]
+    fn collect_always_reports_pool_counters() {
+        let doc = collect();
+        for name in POOL_METRICS {
+            assert!(
+                matches!(doc.timing.get(name), Some(MetricValue::Counter(_))),
+                "{name} must be present even when obs is disabled"
+            );
+            assert!(
+                doc.deterministic.get(name).is_none(),
+                "{name} is schedule-dependent and must stay out of the deterministic section"
+            );
+        }
+        // The historical alias and the pool's own worker counter agree.
+        let workers = doc.timing.get("pool.workers");
+        let spawns = doc.timing.get(RAYON_SPAWNS_METRIC);
+        assert_eq!(workers, spawns);
     }
 
     #[test]

@@ -44,6 +44,15 @@ impl LclLanguage for DominatingSet {
     }
 
     fn is_bad_view(&self, view: &View) -> bool {
+        // SoA fast path: a packed key's value part is nonzero exactly when
+        // the label decodes to `true`.
+        if let Some(keys) = view.soa_outputs() {
+            let mut dominated = u64::from(Label::key_value(keys[view.center_local()]) != 0);
+            for i in view.center_neighbor_indices() {
+                dominated |= u64::from(Label::key_value(keys[i]) != 0);
+            }
+            return dominated == 0;
+        }
         !(view.output(view.center_local()).as_bool()
             || view
                 .center_neighbor_indices()

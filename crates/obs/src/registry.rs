@@ -442,21 +442,42 @@ pub fn reset() {
     }
 }
 
-/// Walks the registry into a [`TraceDocument`]: every registered metric,
+/// Walks the registry into a [`TraceDocument`]: every *touched* metric,
 /// split by [`Section`], with names sorted inside each section.
+///
+/// Metrics still at their reset-state default (zero counter/gauge, empty
+/// histogram, zero-call span) are omitted: lazy handles stay registered
+/// across [`reset`], so including them would make a snapshot depend on
+/// which code paths ever ran in the process, not on the work done since
+/// the last reset — breaking the deterministic-section byte pins across
+/// warm reruns.
 pub fn snapshot() -> TraceDocument {
     let map = cells().lock().expect("obs registry poisoned");
     let mut deterministic = MetricsSnapshot::new();
     let mut timing = MetricsSnapshot::new();
     for cell in map.values() {
         let value = match &cell.data {
-            Data::Counter(v) => MetricValue::Counter(v.load(Ordering::Relaxed)),
-            Data::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
-            Data::Histogram { bounds, counts, sum } => MetricValue::Histogram {
-                bounds: bounds.to_vec(),
-                counts: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-                sum: sum.load(Ordering::Relaxed),
+            Data::Counter(v) => match v.load(Ordering::Relaxed) {
+                0 => continue,
+                n => MetricValue::Counter(n),
             },
+            Data::Gauge(g) => match g.load(Ordering::Relaxed) {
+                0 => continue,
+                n => MetricValue::Gauge(n),
+            },
+            Data::Histogram { bounds, counts, sum } => {
+                let counts: Vec<u64> =
+                    counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let sum = sum.load(Ordering::Relaxed);
+                if counts.iter().all(|&c| c == 0) && sum == 0 {
+                    continue;
+                }
+                MetricValue::Histogram {
+                    bounds: bounds.to_vec(),
+                    counts,
+                    sum,
+                }
+            }
             Data::Span {
                 calls,
                 total_ns,
@@ -464,10 +485,13 @@ pub fn snapshot() -> TraceDocument {
                 max_ns,
             } => {
                 let n = calls.load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
                 MetricValue::Span {
                     calls: n,
                     total_ns: total_ns.load(Ordering::Relaxed),
-                    min_ns: if n == 0 { 0 } else { min_ns.load(Ordering::Relaxed) },
+                    min_ns: min_ns.load(Ordering::Relaxed),
                     max_ns: max_ns.load(Ordering::Relaxed),
                 }
             }

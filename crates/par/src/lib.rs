@@ -16,12 +16,16 @@
 //!   confidence intervals.
 //! * [`stats`]: Wilson score intervals, summary statistics, histograms.
 //! * [`sweep`]: chunked parallel parameter sweeps.
+//! * [`pool`]: introspection over the persistent work-stealing pool that
+//!   executes all of the above (size, task/steal/park counters, the
+//!   `RLNC_THREADS` override).
 //! * [`scale`]: the shared smoke/standard/full work-scaling knob used by
 //!   the experiment drivers, the sweep engine, and the benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod rng;
 pub mod scale;
 pub mod stats;

@@ -1,25 +1,37 @@
-//! Offline, API-compatible subset of `rayon`, backed by `std::thread::scope`.
+//! Offline, API-compatible subset of `rayon`, backed by a persistent
+//! work-stealing thread pool ([`pool`]).
 //!
 //! Provides `par_iter()` / `into_par_iter()` with the adapters the
 //! workspace uses (`enumerate`, `map`) and the terminal operations
-//! (`collect`, `sum`, `for_each`, `reduce`). Work is split into one
-//! contiguous chunk per available core and results are reassembled in
-//! order, so parallel execution is a pure drop-in for sequential: same
-//! outputs, same ordering, different wall-clock.
+//! (`collect`, `sum`, `for_each`, `reduce`). Work is dispatched as
+//! chunked index ranges over the process-global pool and results are
+//! reassembled in order, so parallel execution is a pure drop-in for
+//! sequential: same outputs, same ordering, different wall-clock.
+//! `sum` and `reduce` fold the in-order results on the caller (never
+//! per-chunk partials), so even non-associative reductions are
+//! byte-identical to sequential at every thread count.
+//!
+//! Sources are *index-addressable*, not materialized: ranges dispatch
+//! by `(start, len)` arithmetic and slices by subslice, so no
+//! intermediate `Vec` of indices or references is ever built — neither
+//! by the parallel chunking nor by the inline sequential path.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub mod pool;
 
 pub mod prelude {
     //! Traits that make `.par_iter()` / `.into_par_iter()` available.
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Returns the number of worker threads used for parallel operations.
+/// Returns the number of worker threads used for parallel operations:
+/// the `RLNC_THREADS` environment variable if set to an integer ≥ 1,
+/// otherwise the machine's available parallelism (see
+/// [`pool::thread_count`]).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::thread_count()
 }
 
 std::thread_local! {
@@ -35,86 +47,389 @@ pub fn current_thread_index() -> Option<usize> {
     WORKER_INDEX.with(|cell| cell.get())
 }
 
-/// Scoped threads spawned by this stub since process start.
-///
-/// Unlike the real crates.io rayon — which reuses a persistent worker
-/// pool — this stub pays a fresh `std::thread::scope` spawn per chunk of
-/// every parallel region, so measured parallel speedups *understate* what
-/// the real crate would deliver. This counter quantifies that overhead:
-/// the observability layer exports it as the `rayon.scoped_spawns` timing
-/// metric (it depends on core count, so it is never part of the
-/// deterministic trace section). Not part of upstream rayon's API; remove
-/// callers when swapping the crates.io implementation back in.
-static SPAWN_COUNT: AtomicU64 = AtomicU64::new(0);
-
-/// Total scoped worker threads spawned by parallel operations so far.
-pub fn scoped_spawn_count() -> u64 {
-    SPAWN_COUNT.load(Ordering::Relaxed)
+pub(crate) fn set_worker_index(index: Option<usize>) {
+    WORKER_INDEX.with(|cell| cell.set(index));
 }
 
-/// Splits `items` into per-thread chunks, applies `f` in parallel, and
-/// returns the results in the original order.
-fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Worker threads spawned by the persistent pool since process start.
+///
+/// The pool spawns its workers exactly once — the first parallel region
+/// with an effective thread count above one — and parks them between
+/// regions, so this is *not* a per-call spawn count: it stays at
+/// `current_num_threads() - 1` (or 0 before the first region / when
+/// running with one thread) for the life of the process. The
+/// observability layer exports it as the `rayon.scoped_spawns` timing
+/// metric, alongside the richer `pool.{tasks,steals,parks,workers}`
+/// counters from [`pool::stats`]. Not part of upstream rayon's API.
+pub fn scoped_spawn_count() -> u64 {
+    pool::stats().workers
+}
+
+/// An index-addressable parallel source: `len` items, with item `i`
+/// produced on demand by `item(i)`. Dispatch walks `(start, len)`
+/// chunks of the index space, so a source is never materialized into an
+/// intermediate vector — neither for chunking nor for the sequential
+/// fast path.
+pub trait IndexedSource: Sync {
+    /// The element type produced by this source.
+    type Item: Send;
+
+    /// Number of items in the source.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces item `i` (`i < self.len()`).
+    fn item(&self, i: usize) -> Self::Item;
+
+    /// Maps items `start..start + len` through `f` in order, appending
+    /// the results to `out`. Both the sequential fast path and each
+    /// pool task body route through this, so sources backed by a native
+    /// iterator (slices) override it to drop the per-item bounds check
+    /// — `(0..n).map(|i| f(&items[i]))` defeats autovectorization that
+    /// `items.iter().map(f)` keeps.
+    fn extend_mapped<R, F>(&self, start: usize, len: usize, f: &F, out: &mut Vec<R>)
+    where
+        F: Fn(Self::Item) -> R,
+    {
+        out.extend((start..start + len).map(|i| f(self.item(i))));
+    }
+
+    /// Applies `f` to items `start..start + len` in order with no result
+    /// buffer; same override rationale as [`IndexedSource::extend_mapped`].
+    fn apply<F>(&self, start: usize, len: usize, f: &F)
+    where
+        F: Fn(Self::Item),
+    {
+        for i in start..start + len {
+            f(self.item(i));
+        }
+    }
+}
+
+/// A `Range` dispatched by `(start, len)` arithmetic.
+pub struct RangeSource<I> {
+    start: I,
+    len: usize,
+}
+
+impl IndexedSource for RangeSource<usize> {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IndexedSource for RangeSource<u64> {
+    type Item = u64;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, i: usize) -> u64 {
+        self.start + i as u64
+    }
+}
+
+/// A borrowed slice dispatched by subslice indexing (no `Vec<&T>`).
+pub struct SliceSource<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> IndexedSource for SliceSource<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item(&self, i: usize) -> &'data T {
+        &self.items[i]
+    }
+
+    fn extend_mapped<R, F>(&self, start: usize, len: usize, f: &F, out: &mut Vec<R>)
+    where
+        F: Fn(&'data T) -> R,
+    {
+        out.extend(self.items[start..start + len].iter().map(f));
+    }
+
+    fn apply<F>(&self, start: usize, len: usize, f: &F)
+    where
+        F: Fn(&'data T),
+    {
+        self.items[start..start + len].iter().for_each(f);
+    }
+}
+
+/// Adapter pairing each item with its index ([`ParIter::enumerate`]).
+pub struct Enumerated<S> {
+    inner: S,
+}
+
+impl<S: IndexedSource> IndexedSource for Enumerated<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn item(&self, i: usize) -> (usize, S::Item) {
+        (i, self.inner.item(i))
+    }
+}
+
+/// Balanced `(start, len)` chunk bounds covering `0..n`.
+fn chunk_bounds(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        bounds.push((start, len));
+        start += len;
+    }
+    bounds
+}
+
+/// Chunks per effective thread. Mild oversubscription so work stealing
+/// can rebalance uneven chunks without making tasks too fine.
+const CHUNKS_PER_THREAD: usize = 2;
+
+/// True when dispatch should run inline on the caller: effective
+/// thread count one, a trivially small region, or a nested region (the
+/// caller is already a pool worker, so nested parallelism degrades to
+/// sequential work exactly like the old scoped-thread stub).
+fn sequential_dispatch(n: usize) -> bool {
+    n <= 1 || pool::thread_count() <= 1 || current_thread_index().is_some()
+}
+
+/// Maps every source item through `f` and returns the results in
+/// source order.
+fn indexed_collect<S, R, F>(source: &S, f: &F) -> Vec<R>
+where
+    S: IndexedSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    let n = source.len();
+    if sequential_dispatch(n) {
+        let mut out = Vec::with_capacity(n);
+        source.extend_mapped(0, n, f, &mut out);
+        return out;
+    }
+    let bounds = chunk_bounds(n, pool::thread_count() * CHUNKS_PER_THREAD);
+    let slots: Vec<Mutex<Vec<R>>> = bounds.iter().map(|_| Mutex::new(Vec::new())).collect();
+    pool::run_region(bounds.len(), &|chunk| {
+        let (start, len) = bounds[chunk];
+        let mut out = Vec::with_capacity(len);
+        source.extend_mapped(start, len, f, &mut out);
+        *slots[chunk].lock().expect("rlnc-pool result slot poisoned") = out;
+    });
+    let mut results = Vec::with_capacity(n);
+    for slot in slots {
+        results.append(&mut slot.into_inner().expect("rlnc-pool result slot poisoned"));
+    }
+    results
+}
+
+/// Applies `f` to every source item with no result buffer at all — the
+/// result-free dispatch path behind [`ParIter::for_each`].
+fn indexed_for_each<S, F>(source: &S, f: &F)
+where
+    S: IndexedSource,
+    F: Fn(S::Item) + Sync,
+{
+    let n = source.len();
+    if sequential_dispatch(n) {
+        source.apply(0, n, f);
+        return;
+    }
+    let bounds = chunk_bounds(n, pool::thread_count() * CHUNKS_PER_THREAD);
+    pool::run_region(bounds.len(), &|chunk| {
+        let (start, len) = bounds[chunk];
+        source.apply(start, len, f);
+    });
+}
+
+/// A parallel iterator over an index-addressable source.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    /// Pairs each item with its index, like [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<Enumerated<S>> {
+        ParIter {
+            source: Enumerated { inner: self.source },
+        }
+    }
+
+    /// Lazily maps each item through `f`; the mapping runs in parallel at
+    /// the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<S, F>
+    where
+        R: Send,
+        F: Fn(S::Item) -> R + Sync,
+    {
+        ParMap {
+            source: self.source,
+            f,
+        }
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        let n = self.source.len();
+        (0..n).map(|i| self.source.item(i)).collect()
+    }
+
+    /// Applies `f` to every item in parallel, building no result vector.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        indexed_for_each(&self.source, &f);
+    }
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, R, F> ParMap<S, F>
+where
+    S: IndexedSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        indexed_collect(&self.source, &self.f)
+    }
+
+    /// Runs the map in parallel and collects the results in order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the map in parallel and sums the results (in source order,
+    /// so non-associative sums match sequential bit-for-bit).
+    pub fn sum<Out: std::iter::Sum<R>>(self) -> Out {
+        self.run().into_iter().sum()
+    }
+
+    /// Runs the map in parallel and reduces the results in order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Splits a `Vec` into balanced per-chunk `Vec`s, preserving order.
+fn vec_chunks<T>(mut items: Vec<T>, chunks: usize) -> Vec<Vec<T>> {
+    let bounds = chunk_bounds(items.len(), chunks);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    for &(_, len) in bounds.iter().rev() {
+        out.push(items.split_off(items.len() - len));
+    }
+    out.reverse();
+    out
+}
+
+/// Dispatches by-value `Vec` items over the pool: each chunk of the
+/// vector becomes one task that takes its input chunk and fills its
+/// own result slot, so ordering is preserved without sorting.
+fn vec_collect<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    if sequential_dispatch(n) {
         return items.into_iter().map(f).collect();
     }
-    let chunk_size = n.div_ceil(threads);
-    let mut items = items;
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    while !items.is_empty() {
-        let tail = items.split_off(items.len().saturating_sub(chunk_size));
-        chunks.push(tail);
-    }
-    chunks.reverse();
-    let f = &f;
-    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(index, chunk)| {
-                SPAWN_COUNT.fetch_add(1, Ordering::Relaxed);
-                scope.spawn(move || {
-                    WORKER_INDEX.with(|cell| cell.set(Some(index)));
-                    chunk.into_iter().map(f).collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon stub worker panicked"))
-            .collect()
+    let chunks = vec_chunks(items, pool::thread_count() * CHUNKS_PER_THREAD);
+    let inputs: Vec<Mutex<Option<Vec<T>>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Vec<R>>> = inputs.iter().map(|_| Mutex::new(Vec::new())).collect();
+    pool::run_region(inputs.len(), &|chunk| {
+        let input = inputs[chunk]
+            .lock()
+            .expect("rlnc-pool input chunk poisoned")
+            .take()
+            .expect("rlnc-pool input chunk taken twice");
+        let out: Vec<R> = input.into_iter().map(f).collect();
+        *slots[chunk].lock().expect("rlnc-pool result slot poisoned") = out;
     });
-    chunk_results.into_iter().flatten().collect()
+    let mut results = Vec::with_capacity(n);
+    for slot in slots {
+        results.append(&mut slot.into_inner().expect("rlnc-pool result slot poisoned"));
+    }
+    results
 }
 
-/// A materialized parallel iterator over items of type `T`.
-pub struct ParIter<T> {
+/// Result-free by-value dispatch behind [`VecParIter::for_each`].
+fn vec_for_each<T, F>(items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = items.len();
+    if sequential_dispatch(n) {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let chunks = vec_chunks(items, pool::thread_count() * CHUNKS_PER_THREAD);
+    let inputs: Vec<Mutex<Option<Vec<T>>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    pool::run_region(inputs.len(), &|chunk| {
+        let input = inputs[chunk]
+            .lock()
+            .expect("rlnc-pool input chunk poisoned")
+            .take()
+            .expect("rlnc-pool input chunk taken twice");
+        input.into_iter().for_each(f);
+    });
+}
+
+/// A parallel iterator over by-value `Vec` items.
+pub struct VecParIter<T> {
     items: Vec<T>,
 }
 
-impl<T: Send> ParIter<T> {
+impl<T: Send> VecParIter<T> {
     /// Pairs each item with its index, like [`Iterator::enumerate`].
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter {
+    pub fn enumerate(self) -> VecParIter<(usize, T)> {
+        VecParIter {
             items: self.items.into_iter().enumerate().collect(),
         }
     }
 
     /// Lazily maps each item through `f`; the mapping runs in parallel at
     /// the terminal operation.
-    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    pub fn map<R, F>(self, f: F) -> VecParMap<T, F>
     where
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        ParMap {
+        VecParMap {
             items: self.items,
             f,
         }
@@ -125,29 +440,30 @@ impl<T: Send> ParIter<T> {
         self.items.into_iter().collect()
     }
 
-    /// Applies `f` to every item in parallel.
+    /// Applies `f` to every item in parallel, building no result vector
+    /// (the old stub collected a throwaway `Vec<()>` here).
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(T) + Sync,
     {
-        parallel_map(self.items, |item| f(item));
+        vec_for_each(self.items, &f);
     }
 }
 
-/// A parallel iterator with a pending `map` stage.
-pub struct ParMap<T, F> {
+/// A by-value parallel iterator with a pending `map` stage.
+pub struct VecParMap<T, F> {
     items: Vec<T>,
     f: F,
 }
 
-impl<T, R, F> ParMap<T, F>
+impl<T, R, F> VecParMap<T, F>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
     fn run(self) -> Vec<R> {
-        parallel_map(self.items, self.f)
+        vec_collect(self.items, &self.f)
     }
 
     /// Runs the map in parallel and collects the results in order.
@@ -155,8 +471,8 @@ where
         self.run().into_iter().collect()
     }
 
-    /// Runs the map in parallel and sums the results.
-    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+    /// Runs the map in parallel and sums the results (in input order).
+    pub fn sum<Out: std::iter::Sum<R>>(self) -> Out {
         self.run().into_iter().sum()
     }
 
@@ -175,34 +491,48 @@ pub trait IntoParallelIterator {
     /// The item type.
     type Item: Send;
 
+    /// The concrete parallel iterator produced.
+    type Iter;
+
     /// Converts `self` into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
+    type Iter = VecParIter<T>;
 
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
     }
 }
 
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
+    type Iter = ParIter<RangeSource<usize>>;
 
-    fn into_par_iter(self) -> ParIter<usize> {
+    fn into_par_iter(self) -> Self::Iter {
         ParIter {
-            items: self.collect(),
+            source: RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
         }
     }
 }
 
 impl IntoParallelIterator for Range<u64> {
     type Item = u64;
+    type Iter = ParIter<RangeSource<u64>>;
 
-    fn into_par_iter(self) -> ParIter<u64> {
+    fn into_par_iter(self) -> Self::Iter {
+        let len = usize::try_from(self.end.saturating_sub(self.start))
+            .expect("parallel u64 range too long for this platform");
         ParIter {
-            items: self.collect(),
+            source: RangeSource {
+                start: self.start,
+                len,
+            },
         }
     }
 }
@@ -212,26 +542,31 @@ pub trait IntoParallelRefIterator<'data> {
     /// The reference item type.
     type Item: Send;
 
+    /// The concrete parallel iterator produced.
+    type Iter;
+
     /// Returns a parallel iterator over `&self`'s elements.
-    fn par_iter(&'data self) -> ParIter<Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
 
-    fn par_iter(&'data self) -> ParIter<&'data T> {
+    fn par_iter(&'data self) -> Self::Iter {
         ParIter {
-            items: self.iter().collect(),
+            source: SliceSource { items: self },
         }
     }
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
 
-    fn par_iter(&'data self) -> ParIter<&'data T> {
+    fn par_iter(&'data self) -> Self::Iter {
         ParIter {
-            items: self.iter().collect(),
+            source: SliceSource { items: self },
         }
     }
 }
@@ -239,6 +574,7 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -253,10 +589,40 @@ mod tests {
     }
 
     #[test]
+    fn u64_range_offsets_are_respected() {
+        let v: Vec<u64> = (1_000_000_000_000u64..1_000_000_001_000u64)
+            .into_par_iter()
+            .map(|i| i)
+            .collect();
+        assert_eq!(v.len(), 1_000);
+        assert_eq!(v[0], 1_000_000_000_000);
+        assert_eq!(v[999], 1_000_000_000_999);
+    }
+
+    #[test]
     fn par_iter_enumerate_map() {
         let data = vec![10, 20, 30];
         let v: Vec<usize> = data.par_iter().enumerate().map(|(i, &x)| i + x).collect();
         assert_eq!(v, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        (0..5_000u64).into_par_iter().for_each(|i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5_000);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..5_000u64).sum::<u64>());
+        let vec_hits = AtomicU64::new(0);
+        vec![1u64, 2, 3]
+            .into_par_iter()
+            .for_each(|x| {
+                vec_hits.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(vec_hits.load(Ordering::Relaxed), 6);
     }
 
     #[test]
@@ -268,17 +634,40 @@ mod tests {
             .collect();
         if crate::current_num_threads() > 1 {
             assert!(indices.iter().all(|i| i.is_some()));
+            let threads = crate::current_num_threads();
+            assert!(indices.iter().flatten().all(|&i| i < threads));
         }
         // Back on the caller thread, the marker must be gone.
         assert_eq!(crate::current_thread_index(), None);
     }
 
     #[test]
-    fn scoped_spawns_are_counted() {
-        let before = crate::scoped_spawn_count();
+    fn nested_regions_run_inline() {
+        let nested: Vec<Vec<u64>> = (0..8u64)
+            .into_par_iter()
+            .map(|outer| (0..100u64).into_par_iter().map(|i| outer * i).collect())
+            .collect();
+        for (outer, inner) in nested.iter().enumerate() {
+            assert_eq!(inner.len(), 100);
+            assert_eq!(inner[99], outer as u64 * 99);
+        }
+    }
+
+    #[test]
+    fn pool_workers_are_spawned_once_and_counted() {
         let _: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+        let after_first = crate::scoped_spawn_count();
+        let _: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+        // A persistent pool never re-spawns: the count is the number of
+        // resident workers, not a per-region tally.
+        assert_eq!(crate::scoped_spawn_count(), after_first);
         if crate::current_num_threads() > 1 {
-            assert!(crate::scoped_spawn_count() > before);
+            assert_eq!(after_first, crate::current_num_threads() as u64 - 1);
+            let stats = crate::pool::stats();
+            assert!(stats.tasks > 0);
+            assert_eq!(stats.workers, after_first);
+        } else {
+            assert_eq!(after_first, 0);
         }
     }
 
@@ -288,5 +677,7 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+        let empty_range: Vec<usize> = (5..5usize).into_par_iter().map(|x| x).collect();
+        assert!(empty_range.is_empty());
     }
 }

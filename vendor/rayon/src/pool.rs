@@ -1,0 +1,333 @@
+//! A persistent work-stealing thread pool, std-only.
+//!
+//! The pool is a lazily-initialized process-global: the first parallel
+//! region with an effective thread count above one spawns `threads - 1`
+//! parked workers that live for the rest of the process. Each region is
+//! dispatched as a batch of index tasks (`0..n_tasks`) distributed
+//! round-robin over per-worker deques with a shared injector for
+//! overflow; idle workers steal from the back of other deques (owner
+//! pops the front), park on a condvar when every queue is empty, and
+//! are woken by submitters. The calling thread does not block while its
+//! region runs — it helps, executing any queued task until none are
+//! findable, and only then waits on the region's completion latch.
+//!
+//! ## Determinism
+//!
+//! The pool never affects *results*: regions are pure index fan-outs
+//! and callers reassemble outputs by index, so outputs are byte-
+//! identical at every thread count (including the inline sequential
+//! path used when the effective thread count is one). Only the
+//! counters exported by [`stats`] — tasks dispatched, steals, parks,
+//! workers spawned — are schedule-dependent, which is why the
+//! observability layer keeps them in the *timing* trace section.
+//!
+//! ## Thread count
+//!
+//! The effective thread count is read once per process: the
+//! `RLNC_THREADS` environment variable if it parses to an integer ≥ 1,
+//! otherwise [`std::thread::available_parallelism`]. A count of one
+//! means "no pool": every region runs inline on the caller, spawning
+//! nothing, which is what makes `RLNC_THREADS=1` byte-for-byte equal
+//! to sequential execution *and* scheduling-free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Snapshot of the pool's lifetime counters (all schedule-dependent:
+/// timing-section material, never part of a deterministic trace).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned since process start. At most
+    /// `thread_count() - 1`, and `0` until the first real region.
+    pub workers: u64,
+    /// Index tasks dispatched through the pool (inline sequential
+    /// regions do not count — they never touch a queue).
+    pub tasks: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker went to sleep on the wake condvar.
+    pub parks: u64,
+}
+
+/// One unit of region work: "run task `index` of the region behind
+/// `region`".
+#[derive(Clone, Copy)]
+struct Task {
+    region: *const Region,
+    index: usize,
+}
+
+// SAFETY: `Task` is a plain (pointer, index) pair. The `Region` it
+// points to lives on the stack of the `run_region` call that enqueued
+// it, and `run_region` does not return until the region's completion
+// latch reports every task finished — so a queued or executing task
+// never outlives its region (see the latch argument in `run_region`).
+unsafe impl Send for Task {}
+
+/// A parallel region: the work closure plus a completion latch.
+struct Region {
+    /// The region body. The `'static` lifetime is a lie told by
+    /// `run_region` (see the SAFETY comment there); the latch below is
+    /// what makes it sound.
+    func: &'static (dyn Fn(usize) + Sync),
+    /// Tasks not yet finished. Guarded decrement + condvar instead of
+    /// an atomic so the waiter cannot miss the final notification.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload from any task, re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Region {
+    /// Runs task `index`, capturing a panic instead of unwinding the
+    /// executing thread, then ticks the completion latch. After the
+    /// final tick the region may be freed at any moment, so this method
+    /// must not touch `self` after releasing the `remaining` lock.
+    fn execute(&self, index: usize) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.func)(index)));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            // The waiter needs `remaining`'s lock to observe the zero,
+            // so it cannot free the region before we release it.
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap() == 0
+    }
+
+    fn wait_done(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+struct Pool {
+    /// One deque per worker; owners pop the front, thieves the back.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow queue, drained by everyone (not counted as stealing).
+    injector: Mutex<VecDeque<Task>>,
+    /// Lock + condvar for the parking protocol. Submitters push tasks
+    /// *first*, then notify under this lock; a worker about to park
+    /// re-checks every queue while holding it, so a wakeup can never
+    /// be lost between the last check and the wait.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Rotates the deque a region's first task lands on, so concurrent
+    /// submitters do not all pile onto deque 0.
+    round_robin: AtomicUsize,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    workers: u64,
+}
+
+impl Pool {
+    /// Takes one queued task: own deque first (workers only), then the
+    /// injector, then the back of every other deque (a steal).
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(w) = me {
+            if let Some(task) = self.deques[w].lock().unwrap().pop_front() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |w| w + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(task) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn any_task_queued(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+
+    /// Enqueues a region's `n_tasks` index tasks round-robin over the
+    /// worker deques, then wakes every parked worker.
+    fn submit(&self, region: &Region, n_tasks: usize) {
+        self.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        let region: *const Region = region;
+        let n = self.deques.len();
+        let base = self.round_robin.fetch_add(1, Ordering::Relaxed);
+        for index in 0..n_tasks {
+            let task = Task { region, index };
+            self.deques[(base + index) % n].lock().unwrap().push_back(task);
+        }
+        // Tasks are visible (pushed under the deque locks) before the
+        // notification, and parking workers re-check under `idle`.
+        let _idle = self.idle.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(pool: &'static Pool, worker: usize) {
+    crate::set_worker_index(Some(worker));
+    loop {
+        if let Some(task) = pool.find_task(Some(worker)) {
+            // SAFETY: the region outlives the task (see `Task`).
+            unsafe { &*task.region }.execute(task.index);
+            continue;
+        }
+        let guard = pool.idle.lock().unwrap();
+        if pool.any_task_queued() {
+            continue;
+        }
+        pool.parks.fetch_add(1, Ordering::Relaxed);
+        drop(pool.wake.wait(guard).unwrap());
+    }
+}
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The effective thread count: `RLNC_THREADS` if it parses to an
+/// integer ≥ 1, else [`std::thread::available_parallelism`]. Read once
+/// per process (the pool size cannot change after initialization).
+pub fn thread_count() -> usize {
+    *THREADS.get_or_init(|| {
+        std::env::var("RLNC_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+fn global_pool(threads: usize) -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = threads - 1;
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            round_robin: AtomicUsize::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            workers: workers as u64,
+        }));
+        for worker in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rlnc-pool-{worker}"))
+                .spawn(move || worker_loop(pool, worker))
+                .expect("failed to spawn rlnc-pool worker");
+        }
+        pool
+    })
+}
+
+/// Counters for the observability layer; all zeros until the first
+/// real parallel region initializes the pool.
+pub fn stats() -> PoolStats {
+    match POOL.get() {
+        Some(pool) => PoolStats {
+            workers: pool.workers,
+            tasks: pool.tasks.load(Ordering::Relaxed),
+            steals: pool.steals.load(Ordering::Relaxed),
+            parks: pool.parks.load(Ordering::Relaxed),
+        },
+        None => PoolStats::default(),
+    }
+}
+
+/// Runs task on the caller thread on behalf of the pool: the caller
+/// temporarily becomes worker `thread_count() - 1` (an index no pool
+/// worker uses) so nested-parallelism detection keeps working inside
+/// the task, then reverts to a plain outside-the-pool thread.
+fn execute_as_caller(task: Task) {
+    let previous = crate::current_thread_index();
+    crate::set_worker_index(Some(thread_count() - 1));
+    // SAFETY: the region outlives the task (see `Task`).
+    unsafe { &*task.region }.execute(task.index);
+    crate::set_worker_index(previous);
+}
+
+/// Runs `f(0), f(1), …, f(n_tasks - 1)`, possibly in parallel, and
+/// returns once every call has finished.
+///
+/// This is the single dispatch primitive behind every parallel
+/// iterator. Three situations run inline on the caller, spawning and
+/// queueing nothing: an effective thread count of one, a single-task
+/// region, and a nested region (the caller is already inside a pool
+/// task — running inline preserves the old scoped-thread stub's
+/// guarantee that nested parallelism degrades to sequential work).
+pub fn run_region(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let threads = thread_count();
+    if threads <= 1 || n_tasks == 1 || crate::current_thread_index().is_some() {
+        for index in 0..n_tasks {
+            f(index);
+        }
+        return;
+    }
+    let pool = global_pool(threads);
+    // SAFETY: `func` borrows the caller's stack, and the transmute
+    // forges a 'static lifetime for it. This is sound because no task
+    // can outlive this call: every task ticks the region's completion
+    // latch exactly once *after* its `func` call returns, and this
+    // function does not return until the latch reaches zero — so by
+    // the time the borrow would dangle, no queued or running task
+    // references it.
+    let func: &(dyn Fn(usize) + Sync) = f;
+    let func: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
+    let region = Region {
+        func,
+        remaining: Mutex::new(n_tasks),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    pool.submit(&region, n_tasks);
+    // Help instead of blocking: drain findable tasks (this region's or
+    // any concurrent region's), and only wait on the latch once the
+    // queues are dry. A claimed task is always executed, and tasks
+    // never wait on other tasks (nested regions run inline), so this
+    // cannot deadlock — including against the serve layer's scoped
+    // client threads submitting regions concurrently.
+    loop {
+        if region.is_done() {
+            break;
+        }
+        match pool.find_task(None) {
+            Some(task) => execute_as_caller(task),
+            None => {
+                region.wait_done();
+                break;
+            }
+        }
+    }
+    let payload = region.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
