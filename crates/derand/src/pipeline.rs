@@ -26,6 +26,8 @@
 //! The engine equivalence suite (`crates/engine/tests/equivalence.rs`)
 //! pins these claims down at seed 0 and beyond.
 
+use std::collections::HashMap;
+
 use crate::decider::OneSidedLclDecider;
 use rlnc_core::algorithm::{LocalAlgorithm, RandomizedLocalAlgorithm};
 use rlnc_core::config::{Instance, IoConfig};
@@ -273,9 +275,17 @@ where
         let mut pool = Vec::new();
         let mut missing = 0usize;
         let mut floor = min_id.max(1);
-        for algo in algorithms {
+        // Verdicts of every algorithm on candidate `ci` as probed under
+        // identity floor `floor`. A candidate's content is a function of
+        // `(ci, floor)` (the floor fixes the id shift), so whenever a
+        // probe lands on an unsettled verdict we batch one
+        // `run_many` pass over *all* still-unsettled same-radius
+        // algorithms from the prober onward — the cached views are
+        // walked once per batch instead of once per algorithm.
+        let mut verdicts: HashMap<(usize, u64), Vec<Option<bool>>> = HashMap::new();
+        for (j, algo) in algorithms.iter().enumerate() {
             let mut found = None;
-            for candidate in candidates {
+            for (ci, candidate) in candidates.iter().enumerate() {
                 let candidate = if candidate.min_id() >= floor {
                     candidate.clone()
                 } else {
@@ -284,7 +294,32 @@ where
                 if candidate.diameter_lower_bound() < min_diameter {
                     continue;
                 }
-                if self.fails_on_cached(*algo, &candidate, cache) {
+                let fails = {
+                    let radius = algo.radius();
+                    let inst = candidate.as_instance();
+                    // Every probe still routes through the plan cache,
+                    // so hit/miss statistics match the sequential scan
+                    // exactly; only the `run` calls are batched.
+                    let plan = cache.plan_for(&inst, radius);
+                    let entry = verdicts
+                        .entry((ci, floor))
+                        .or_insert_with(|| vec![None; algorithms.len()]);
+                    if entry[j].is_none() {
+                        let batch: Vec<usize> = (j..algorithms.len())
+                            .filter(|&jj| {
+                                algorithms[jj].radius() == radius && entry[jj].is_none()
+                            })
+                            .collect();
+                        let refs: Vec<&A> = batch.iter().map(|&jj| algorithms[jj]).collect();
+                        let outputs = self.runner.run_many(&refs, plan);
+                        for (&jj, output) in batch.iter().zip(&outputs) {
+                            let io = IoConfig::from_instance(&inst, output);
+                            entry[jj] = Some(!self.language.contains(&io));
+                        }
+                    }
+                    entry[j].expect("batched scan settles the probing algorithm's verdict")
+                };
+                if fails {
                     found = Some(candidate);
                     break;
                 }
@@ -573,6 +608,44 @@ mod tests {
             assert_eq!(a.graph, b.graph);
             assert_eq!(a.ids.as_slice(), b.ids.as_slice());
         }
+    }
+
+    #[test]
+    fn batched_hard_instance_scan_is_pinned() {
+        let (constructor, decider, language) = coloring_pipeline();
+        let pipeline = lcl_pipeline(&constructor, &decider, &language, 0.9, 0);
+        // A mixed-radius family: the batched scan settles one same-radius
+        // slice per `run_many` call, so radius-0 and radius-1 algorithms
+        // land in separate batches while the identity floor keeps
+        // threading through in family order.
+        let p1 = FnAlgorithm::new(0, "id-parity", |v: &View| Label::from_u64(v.center_id() % 2 + 1));
+        let c1 = FnAlgorithm::new(1, "always-1", |_: &View| Label::from_u64(1));
+        let p2 = FnAlgorithm::new(0, "id-mod-3", |v: &View| Label::from_u64(v.center_id() % 3 + 1));
+        let c2 = FnAlgorithm::new(1, "always-2", |_: &View| Label::from_u64(2));
+        let algos: [&dyn LocalAlgorithm; 4] = [&p1, &c1, &p2, &c2];
+        let candidates = consecutive_cycle_candidates([8, 10, 12]);
+        let stage = pipeline.hard_instance_stage(&algos, &candidates, 0, 1);
+        // Bit-identical to the legacy probe-by-probe search...
+        let legacy = HardInstanceSearch::new(&language).with_min_id(1);
+        let (reference, missing) = legacy.hard_instance_family(algos.to_vec(), &candidates);
+        assert_eq!(stage.missing, missing);
+        assert_eq!(stage.pool.len(), reference.len());
+        for (ours, theirs) in stage.pool.iter().zip(&reference) {
+            assert_eq!(ours.graph, theirs.graph);
+            assert_eq!(ours.ids.as_slice(), theirs.ids.as_slice());
+        }
+        // ...and pinned in shape: id-parity 2-colors even cycles properly
+        // (missing), always-1 fails the 8-cycle, id-mod-3 first fails on
+        // the shifted 10-cycle (its closing edge collides mod 3), always-2
+        // fails the next shifted 8-cycle — identity ranges pairwise
+        // disjoint above the floor.
+        assert_eq!(stage.missing, 1);
+        let shape: Vec<(usize, u64, u64)> = stage
+            .pool
+            .iter()
+            .map(|h| (h.graph.node_count(), h.min_id(), h.max_id()))
+            .collect();
+        assert_eq!(shape, [(8, 1, 8), (10, 9, 18), (8, 19, 26)]);
     }
 
     #[test]

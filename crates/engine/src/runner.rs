@@ -199,6 +199,176 @@ impl BatchRunner {
         Labeling::new(parts.into_iter().flatten().collect())
     }
 
+    /// The multi-algorithm form of the heuristic: one pass over the plan
+    /// carrying `k` evaluations per view.
+    fn parallel_many(&self, plan: &ExecutionPlan, k: u64) -> bool {
+        match self.mode {
+            Mode::Sequential => false,
+            Mode::Auto => {
+                plan.node_count() >= 64
+                    && rayon::current_thread_index().is_none()
+                    && (plan.work_per_execution() as u64).saturating_mul(k)
+                        >= PARALLEL_WORK_THRESHOLD
+            }
+        }
+    }
+
+    /// Evaluates **K same-radius deterministic algorithms** against the
+    /// plan in one view walk: node blocks are dispatched exactly like
+    /// [`BatchRunner::run`], and within each resident block the algorithm
+    /// loop runs *innermost* — every view is loaded once and serves all K
+    /// output functions while hot, amortizing the walk's memory traffic
+    /// across the whole algorithm slice. Returns one labeling per
+    /// algorithm, in slice order.
+    ///
+    /// Bit-identical to K sequential [`BatchRunner::run`] calls: each
+    /// output is a pure function of the (immutable) view, so neither the
+    /// loop interchange nor the block dispatch can change a label.
+    pub fn run_many<A: LocalAlgorithm + ?Sized>(
+        &self,
+        algos: &[&A],
+        plan: &ExecutionPlan,
+    ) -> Vec<Labeling> {
+        for algo in algos {
+            assert_eq!(
+                algo.radius(),
+                plan.radius(),
+                "algorithm radius {} does not match plan radius {}",
+                algo.radius(),
+                plan.radius()
+            );
+        }
+        let k = algos.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let n = plan.node_count();
+        let parallel = self.parallel_many(plan, k as u64);
+        record_batch_pass(k as u64, parallel);
+        if !parallel {
+            // Direct-write walk: every output lands straight in its final
+            // slot, so the sequential path carries no block buffers or
+            // stitch copies on top of the plain per-algorithm loop.
+            let mut outs: Vec<Vec<rlnc_core::labels::Label>> =
+                (0..k).map(|_| Vec::with_capacity(n)).collect();
+            for view in plan.views() {
+                for (slot, algo) in outs.iter_mut().zip(algos) {
+                    slot.push(algo.output(view));
+                }
+            }
+            return outs.into_iter().map(Labeling::new).collect();
+        }
+        let run_block = |range: &Range<usize>| -> Vec<Vec<rlnc_core::labels::Label>> {
+            let mut parts: Vec<Vec<rlnc_core::labels::Label>> =
+                (0..k).map(|_| Vec::with_capacity(range.len())).collect();
+            for view in &plan.views()[range.clone()] {
+                for (slot, algo) in parts.iter_mut().zip(algos) {
+                    slot.push(algo.output(view));
+                }
+            }
+            parts
+        };
+        let chunks = n.div_ceil(self.block as usize).max(1);
+        let ranges = balanced_ranges(n, chunks);
+        let blocks = sweep(ranges, run_block);
+        let mut outs: Vec<Vec<rlnc_core::labels::Label>> =
+            (0..k).map(|_| Vec::with_capacity(n)).collect();
+        for block in blocks {
+            for (slot, part) in outs.iter_mut().zip(block) {
+                slot.extend(part);
+            }
+        }
+        outs.into_iter().map(Labeling::new).collect()
+    }
+
+    /// Estimates the acceptance probability of **K deciders at once** over
+    /// a decision plan: trials are blocked exactly like
+    /// [`BatchRunner::acceptance`], and within each trial one walk over the
+    /// cached views runs the decider loop innermost, keeping one verdict
+    /// bit per decider (a rejected decider is never re-evaluated, and the
+    /// walk stops early once every verdict has settled).
+    ///
+    /// Bit-identical, decider by decider, to K sequential
+    /// [`BatchRunner::acceptance`] calls with the same master seed: trial
+    /// `t`'s coins derive from `(master_seed, t, node)` alone, and a
+    /// decider's trial verdict is "accepts at every view" either way —
+    /// skipped evaluations only ever follow a rejection that already
+    /// settled the verdict.
+    pub fn acceptance_many<D>(
+        &self,
+        deciders: &[&D],
+        plan: &ExecutionPlan,
+        trials: u64,
+        master_seed: u64,
+    ) -> Vec<Estimate>
+    where
+        D: RandomizedDecider + ?Sized,
+    {
+        assert!(
+            plan.has_outputs(),
+            "acceptance_many needs a decision plan (ExecutionPlan::for_io)"
+        );
+        for decider in deciders {
+            assert_eq!(
+                decider.radius(),
+                plan.radius(),
+                "decider radius {} does not match plan radius {}",
+                decider.radius(),
+                plan.radius()
+            );
+        }
+        let k = deciders.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let words = k.div_ceil(64);
+        let root = SeedSequence::new(master_seed);
+        let run_block = |range: &Range<usize>| -> Vec<u64> {
+            let mut successes = vec![0u64; k];
+            let mut alive = vec![0u64; words];
+            for trial in range.clone() {
+                let coins = Coins::new(root.child(trial as u64));
+                for slot in alive.iter_mut() {
+                    *slot = u64::MAX;
+                }
+                if k % 64 != 0 {
+                    alive[words - 1] = (1u64 << (k % 64)) - 1;
+                }
+                let mut remaining = k;
+                'walk: for view in plan.views() {
+                    for (j, decider) in deciders.iter().enumerate() {
+                        let bit = 1u64 << (j % 64);
+                        if alive[j / 64] & bit != 0 && !decider.accepts(view, &coins) {
+                            alive[j / 64] &= !bit;
+                            remaining -= 1;
+                            if remaining == 0 {
+                                break 'walk;
+                            }
+                        }
+                    }
+                }
+                for (j, success) in successes.iter_mut().enumerate() {
+                    *success += (alive[j / 64] >> (j % 64)) & 1;
+                }
+            }
+            successes
+        };
+        let total_work = (plan.work_per_execution() as u64)
+            .saturating_mul(trials)
+            .saturating_mul(k as u64);
+        let counts = self.run_blocked(trials, total_work, run_block);
+        let mut successes = vec![0u64; k];
+        for block in counts {
+            for (total, count) in successes.iter_mut().zip(block) {
+                *total += count;
+            }
+        }
+        successes
+            .into_iter()
+            .map(|s| Estimate::from_counts(s, trials))
+            .collect()
+    }
+
     /// Runs one execution per seed and maps each output labeling through
     /// `f`, returning the results in seed order. Trials are grouped into
     /// blocks; each block reuses one output buffer, and blocks run in
@@ -397,6 +567,101 @@ mod tests {
         assert_eq!(engine.successes, legacy.successes);
         let sequential = BatchRunner::sequential().acceptance(&decider, &plan, 600, 5);
         assert_eq!(sequential.successes, legacy.successes);
+    }
+
+    #[test]
+    fn run_many_matches_k_sequential_runs() {
+        let (g, x, ids) = fixture(150);
+        let inst = Instance::new(&g, &x, &ids);
+        let plan = ExecutionPlan::for_instance(&inst, 1);
+        let a1 = FnAlgorithm::new(1, "ids", |v: &View| Label::from_u64(v.center_id()));
+        let a2 = FnAlgorithm::new(1, "deg", |v: &View| {
+            Label::from_u64(v.center_degree() as u64)
+        });
+        let a3 = FnAlgorithm::new(1, "rank", |v: &View| {
+            Label::from_u64(v.center_rank() as u64)
+        });
+        let algos: Vec<&dyn LocalAlgorithm> = vec![&a1, &a2, &a3];
+        for runner in [
+            BatchRunner::new(),
+            BatchRunner::sequential(),
+            BatchRunner::new().with_block(7),
+        ] {
+            let many = runner.run_many(&algos, &plan);
+            assert_eq!(many.len(), 3);
+            for (algo, out) in algos.iter().zip(&many) {
+                assert_eq!(out, &runner.run(*algo, &plan));
+            }
+        }
+        let empty: [&dyn LocalAlgorithm; 0] = [];
+        assert!(BatchRunner::new().run_many(&empty, &plan).is_empty());
+    }
+
+    #[test]
+    fn acceptance_many_matches_k_sequential_acceptances() {
+        let (g, x, ids) = fixture(48);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 2)));
+        let io = IoConfig::new(&g, &x, &y);
+        let plan = ExecutionPlan::for_io(&io, &ids, 1);
+        // Different acceptance rates so the verdict bits settle at
+        // different views within a trial.
+        let d1 = FnRandomizedDecider::new(1, "p99", |view: &View, coins: &Coins| {
+            coins.for_center(view).random_bool(0.99)
+        });
+        let d2 = FnRandomizedDecider::new(1, "p70", |view: &View, coins: &Coins| {
+            coins.for_center(view).random_bool(0.7) || view.output(0).as_u64() == 7
+        });
+        let d3 = FnRandomizedDecider::new(1, "p30", |view: &View, coins: &Coins| {
+            coins.for_center(view).random_bool(0.3)
+        });
+        let deciders: Vec<&dyn RandomizedDecider> = vec![&d1, &d2, &d3];
+        for runner in [
+            BatchRunner::new(),
+            BatchRunner::sequential(),
+            BatchRunner::new().with_block(5),
+        ] {
+            let many = runner.acceptance_many(&deciders, &plan, 300, 11);
+            assert_eq!(many.len(), 3);
+            for (decider, estimate) in deciders.iter().zip(&many) {
+                let solo = runner.acceptance(*decider, &plan, 300, 11);
+                assert_eq!(estimate.successes, solo.successes);
+                assert_eq!(estimate.p_hat, solo.p_hat);
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_many_handles_more_than_one_bitset_word() {
+        let (g, x, ids) = fixture(20);
+        let y = Labeling::from_fn(&g, |v| Label::from_u64(u64::from(v.0 % 3)));
+        let io = IoConfig::new(&g, &x, &y);
+        let plan = ExecutionPlan::for_io(&io, &ids, 1);
+        let deciders: Vec<_> = (0..70u32)
+            .map(|i| {
+                FnRandomizedDecider::new(1, "graded", move |view: &View, coins: &Coins| {
+                    coins.for_center(view).random_bool(0.4 + f64::from(i) * 0.008)
+                })
+            })
+            .collect();
+        let refs: Vec<&_> = deciders.iter().collect();
+        let many = BatchRunner::new().acceptance_many(&refs, &plan, 64, 3);
+        assert_eq!(many.len(), 70);
+        for (decider, estimate) in deciders.iter().zip(&many) {
+            let solo = BatchRunner::new().acceptance(decider, &plan, 64, 3);
+            assert_eq!(estimate.successes, solo.successes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan radius")]
+    fn run_many_rejects_mixed_radius() {
+        let (g, x, ids) = fixture(8);
+        let inst = Instance::new(&g, &x, &ids);
+        let plan = ExecutionPlan::for_instance(&inst, 1);
+        let good = FnAlgorithm::new(1, "ok", |_: &View| Label::from_u64(0));
+        let bad = FnAlgorithm::new(2, "wrong", |_: &View| Label::from_u64(0));
+        let algos: Vec<&dyn LocalAlgorithm> = vec![&good, &bad];
+        let _ = BatchRunner::new().run_many(&algos, &plan);
     }
 
     #[test]

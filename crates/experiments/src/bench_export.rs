@@ -30,6 +30,11 @@
 //! * `verdict-soa` — the packed-`u64` SoA label lane (new with the SoA
 //!   view layout): the proper-coloring verdict over cached views, byte
 //!   path vs branchless lane, bad-ball counts asserted identical.
+//! * `multi-algo-scan` — the batched K-algorithm kernel (new with the
+//!   arena-level lanes): K = 16 lane-space verdict deciders on a
+//!   larger-than-LLC radius-1 ring decision plan, K sequential
+//!   `acceptance` walks vs one `acceptance_many` pass with the decider
+//!   loop innermost, verdicts asserted bit-identical per decider.
 //!
 //! The derand groups (new with the pipeline refactor) measure the two
 //! Theorem-1 kernels against their legacy `rlnc_core::derand` reference
@@ -688,6 +693,90 @@ fn verdict_soa(quick: bool) -> BenchGroup {
     }
 }
 
+/// One always-accepting lane-space verdict decider: compare the center's
+/// packed output key against each neighbor's, plus a `j`-shifted probe
+/// that can never match a valid color key. Data-dependent (the compiler
+/// cannot fold the walk away) yet guaranteed to accept on a proper
+/// coloring, so every trial walks the full view sweep on both sides.
+fn scan_decider(j: u64) -> FnRandomizedDecider<impl Fn(&View, &Coins) -> bool + Sync> {
+    FnRandomizedDecider::new(1, "scan-verdict", move |view: &View, _coins: &Coins| {
+        let keys = view
+            .soa_outputs()
+            .expect("radius-1 decision plans carry the packed output lane");
+        let mine = keys[view.center_local()];
+        let mut clash = 0u64;
+        for i in view.center_neighbor_indices() {
+            clash |= u64::from(keys[i] == mine);
+            clash |= u64::from(keys[i] == mine.wrapping_add(7 + j));
+        }
+        clash == 0
+    })
+}
+
+/// The batched K-decider scan (new with the arena lanes and the
+/// `acceptance_many` kernel): K = 16 lane-space verdict deciders over a
+/// properly 3-colored ring whose decision plan exceeds the last-level
+/// cache. Legacy = K sequential [`BatchRunner::acceptance`] calls — the
+/// per-algorithm loop the Claim-2 scan used to run — each trial
+/// re-streaming every cached view and its lane window from memory;
+/// engine = one [`BatchRunner::acceptance_many`] pass with the decider
+/// loop innermost, so each view is loaded once per trial and serves all
+/// K verdicts while hot. Verdict parity (successes and p-hat per
+/// decider) is asserted on the way; both sides run sequentially so the
+/// ratio isolates the view-walk amortization, not thread counts.
+fn multi_algo_scan(quick: bool) -> BenchGroup {
+    let (n, reps) = if quick { (3usize << 14, 3) } else { (3 << 19, 3) };
+    let k = 16u64;
+    let trials = 2u64;
+    let graph = cycle(n);
+    let input = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0) % 5));
+    // `n` is a multiple of 3, so color-by-index is a proper 3-coloring
+    // (colors 1..=3) and every decider accepts every view.
+    let output = Labeling::from_fn(&graph, |v| Label::from_u64(u64::from(v.0) % 3 + 1));
+    let ids = IdAssignment::consecutive(&graph);
+    let io = IoConfig::new(&graph, &input, &output);
+    let plan = ExecutionPlan::for_io(&io, &ids, 1);
+    let deciders: Vec<_> = (0..k).map(scan_decider).collect();
+    let refs: Vec<&dyn RandomizedDecider> =
+        deciders.iter().map(|d| d as &dyn RandomizedDecider).collect();
+    let runner = BatchRunner::sequential();
+    let batched = runner.acceptance_many(&refs, &plan, trials, 0xC2);
+    for (decider, estimate) in refs.iter().zip(&batched) {
+        let solo = runner.acceptance(*decider, &plan, trials, 0xC2);
+        assert_eq!(
+            (estimate.successes, estimate.p_hat),
+            (solo.successes, solo.p_hat),
+            "the batched scan must be bit-identical to the per-decider loop"
+        );
+        assert_eq!(estimate.successes, trials, "scan deciders accept by construction");
+    }
+    let legacy_ns = best_of(reps, || {
+        let mut successes = 0u64;
+        for decider in &refs {
+            successes += runner.acceptance(*decider, &plan, trials, 0xC2).successes;
+        }
+        assert_eq!(successes, k * trials);
+    });
+    let engine_ns = best_of(reps, || {
+        let estimates = runner.acceptance_many(&refs, &plan, trials, 0xC2);
+        assert_eq!(estimates.len(), k as usize);
+    });
+    let counters = obs_counters(|| {
+        let _ = runner.acceptance_many(&refs, &plan, trials, 0xC2);
+    });
+    BenchGroup {
+        name: "multi-algo-scan".into(),
+        n,
+        trials: k,
+        legacy_ns,
+        engine_ns,
+        legacy_allocs: None,
+        engine_allocs: None,
+        working_set_bytes: plan.working_set_bytes(),
+        counters,
+    }
+}
+
 /// The `langs` groups: one per LCL case in the registry.
 fn lcl_verdict_groups(quick: bool) -> Vec<BenchGroup> {
     rlnc_langs::registry::CaseRegistry::builtin()
@@ -707,6 +796,7 @@ pub fn run(quick: bool) -> BenchExport {
         shard_overhead(quick),
         pool_warmup(quick),
         verdict_soa(quick),
+        multi_algo_scan(quick),
     ];
     groups.extend(lcl_verdict_groups(quick));
     #[cfg(feature = "count-alloc")]
@@ -873,12 +963,12 @@ mod tests {
     #[test]
     fn quick_export_measures_and_serializes() {
         let export = run(true);
-        // 8 engine groups plus one lcl-verdicts group per LCL case.
+        // 9 engine groups plus one lcl-verdicts group per LCL case.
         let lcl_cases = rlnc_langs::registry::CaseRegistry::builtin()
             .iter()
             .filter(|c| c.lcl.is_some())
             .count();
-        assert_eq!(export.groups.len(), 8 + lcl_cases);
+        assert_eq!(export.groups.len(), 9 + lcl_cases);
         for group in &export.groups {
             assert!(group.legacy_ns > 0 && group.engine_ns > 0);
             assert!(group.speedup() > 0.0);
@@ -891,6 +981,7 @@ mod tests {
         assert!(json.contains("glued-acceptance"));
         assert!(json.contains("pool-warmup"));
         assert!(json.contains("verdict-soa"));
+        assert!(json.contains("multi-algo-scan"));
         assert!(json.contains("lcl-verdicts-coloring3"));
         assert!(json.contains("lcl-verdicts-matching"));
         assert!(json.ends_with("}\n"));

@@ -912,10 +912,14 @@ fn serve_client_main(args: &[String]) {
             };
             print!("{}", outcome.run.to_markdown());
             println!(
-                "streamed {} records (plan_cache_hits_delta={}, plan_cache_misses_delta={})",
+                "streamed {} records (plan_cache_hits_delta={}, plan_cache_misses_delta={}, \
+                 pool.tasks={}, pool.steals={}, pool.parks={})",
                 outcome.run.records.len(),
                 outcome.plan_cache_hits_delta,
-                outcome.plan_cache_misses_delta
+                outcome.plan_cache_misses_delta,
+                outcome.pool_tasks_delta,
+                outcome.pool_steals_delta,
+                outcome.pool_parks_delta
             );
             if let Some(path) = out_path {
                 write_file(&path, &emit::to_json(&outcome.run));

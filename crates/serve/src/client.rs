@@ -65,6 +65,12 @@ pub struct RunOutcome {
     pub plan_cache_hits_delta: u64,
     /// Shared plan-cache misses the server attributed to this request.
     pub plan_cache_misses_delta: u64,
+    /// Pool tasks the server executed while serving this request.
+    pub pool_tasks_delta: u64,
+    /// Pool steals the server observed while serving this request.
+    pub pool_steals_delta: u64,
+    /// Worker parks the server observed while serving this request.
+    pub pool_parks_delta: u64,
 }
 
 /// Connects to a serving endpoint.
@@ -199,6 +205,9 @@ impl Connection {
                     records: expected,
                     plan_cache_hits_delta,
                     plan_cache_misses_delta,
+                    pool_tasks_delta,
+                    pool_steals_delta,
+                    pool_parks_delta,
                 } => {
                     if expected != records.len() as u64 {
                         return Err(format!(
@@ -217,6 +226,9 @@ impl Connection {
                         },
                         plan_cache_hits_delta,
                         plan_cache_misses_delta,
+                        pool_tasks_delta,
+                        pool_steals_delta,
+                        pool_parks_delta,
                     });
                 }
                 other => return Err(format!("unexpected response: {}", other.to_json())),

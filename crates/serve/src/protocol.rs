@@ -13,7 +13,8 @@
 //!     "scale":...,"master_seed":...,"points":N}
 //! <- {"type":"record","record":{...}}                                 (xN, streamed)
 //! <- {"type":"run-end","records":N,"plan_cache_hits_delta":H,
-//!     "plan_cache_misses_delta":M}
+//!     "plan_cache_misses_delta":M,"pool_tasks_delta":T,
+//!     "pool_steals_delta":S,"pool_parks_delta":P}
 //!
 //! -> {"cmd":"status"}
 //! <- {"type":"status",...}
@@ -184,7 +185,8 @@ pub enum Response {
         /// The completed record.
         record: RunRecord,
     },
-    /// Terminator of a `run` reply, with per-request cache deltas.
+    /// Terminator of a `run` reply, with per-request cache and
+    /// work-stealing-pool deltas.
     RunEnd {
         /// Records streamed for this request.
         records: u64,
@@ -192,6 +194,12 @@ pub enum Response {
         plan_cache_hits_delta: u64,
         /// Shared plan-cache misses attributed to this request.
         plan_cache_misses_delta: u64,
+        /// Pool tasks executed while serving this request.
+        pool_tasks_delta: u64,
+        /// Pool steals observed while serving this request.
+        pool_steals_delta: u64,
+        /// Worker parks observed while serving this request.
+        pool_parks_delta: u64,
     },
     /// Reply to `status`.
     Status(StatusReport),
@@ -247,12 +255,21 @@ impl Response {
                 records,
                 plan_cache_hits_delta,
                 plan_cache_misses_delta,
+                pool_tasks_delta,
+                pool_steals_delta,
+                pool_parks_delta,
             } => format!(
                 concat!(
                     "{{\"type\":\"run-end\",\"records\":{},\"plan_cache_hits_delta\":{},",
-                    "\"plan_cache_misses_delta\":{}}}"
+                    "\"plan_cache_misses_delta\":{},\"pool_tasks_delta\":{},",
+                    "\"pool_steals_delta\":{},\"pool_parks_delta\":{}}}"
                 ),
-                records, plan_cache_hits_delta, plan_cache_misses_delta
+                records,
+                plan_cache_hits_delta,
+                plan_cache_misses_delta,
+                pool_tasks_delta,
+                pool_steals_delta,
+                pool_parks_delta
             ),
             Response::Status(s) => format!(
                 concat!(
@@ -307,6 +324,17 @@ impl Response {
                     .as_u64("plan_cache_hits_delta")?,
                 plan_cache_misses_delta: json::get(obj, "plan_cache_misses_delta")?
                     .as_u64("plan_cache_misses_delta")?,
+                // Pool deltas predate no server we ship, but tolerate
+                // their absence so older captures still parse.
+                pool_tasks_delta: json::get(obj, "pool_tasks_delta")
+                    .and_then(|v| v.as_u64("pool_tasks_delta"))
+                    .unwrap_or(0),
+                pool_steals_delta: json::get(obj, "pool_steals_delta")
+                    .and_then(|v| v.as_u64("pool_steals_delta"))
+                    .unwrap_or(0),
+                pool_parks_delta: json::get(obj, "pool_parks_delta")
+                    .and_then(|v| v.as_u64("pool_parks_delta"))
+                    .unwrap_or(0),
             }),
             "status" => Ok(Response::Status(StatusReport {
                 requests: json::get(obj, "requests")?.as_u64("requests")?,
@@ -428,6 +456,9 @@ mod tests {
                 records: 8,
                 plan_cache_hits_delta: 5,
                 plan_cache_misses_delta: 3,
+                pool_tasks_delta: 21,
+                pool_steals_delta: 4,
+                pool_parks_delta: 2,
             },
             Response::Status(StatusReport {
                 requests: 4,
@@ -449,6 +480,23 @@ mod tests {
             assert!(!line.contains('\n'), "one line per message: {line}");
             assert_eq!(Response::from_json(&line).unwrap(), resp, "line: {line}");
         }
+    }
+
+    #[test]
+    fn run_end_tolerates_missing_pool_deltas() {
+        let legacy = "{\"type\":\"run-end\",\"records\":2,\"plan_cache_hits_delta\":1,\
+                      \"plan_cache_misses_delta\":0}";
+        assert_eq!(
+            Response::from_json(legacy).unwrap(),
+            Response::RunEnd {
+                records: 2,
+                plan_cache_hits_delta: 1,
+                plan_cache_misses_delta: 0,
+                pool_tasks_delta: 0,
+                pool_steals_delta: 0,
+                pool_parks_delta: 0,
+            }
+        );
     }
 
     #[test]

@@ -307,6 +307,7 @@ impl SweepServer {
         let executor = SweepExecutor::new(scale).with_seed(seed);
         let points = spec.grid(scale).iter().filter(|p| shard.owns(p.index)).count() as u64;
         let cache_before = rlnc_engine::shared_plan_cache_stats();
+        let pool_before = rlnc_par::pool::stats();
         Self::send(
             writer,
             &Response::RunStart {
@@ -333,12 +334,16 @@ impl SweepServer {
             },
         )?;
         let cache_after = rlnc_engine::shared_plan_cache_stats();
+        let pool_after = rlnc_par::pool::stats();
         Self::send(
             writer,
             &Response::RunEnd {
                 records: streamed,
                 plan_cache_hits_delta: cache_after.hits.saturating_sub(cache_before.hits),
                 plan_cache_misses_delta: cache_after.misses.saturating_sub(cache_before.misses),
+                pool_tasks_delta: pool_after.tasks.saturating_sub(pool_before.tasks),
+                pool_steals_delta: pool_after.steals.saturating_sub(pool_before.steals),
+                pool_parks_delta: pool_after.parks.saturating_sub(pool_before.parks),
             },
         )
     }

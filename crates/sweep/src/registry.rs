@@ -71,6 +71,7 @@ impl Registry {
         registry.insert(theorem1_pipeline_spec());
         registry.insert(language_matrix_spec());
         registry.insert(fault_matrix_spec());
+        registry.insert(claim2_scan_spec());
         registry
     }
 
@@ -261,6 +262,33 @@ pub fn fault_matrix_spec() -> ScenarioSpec {
     }
 }
 
+/// The batched Claim-2 scan as a scenario: the K-axis of the
+/// multi-algorithm hard-instance search. `params.a` is the width `K` of
+/// the deterministic probe family (the registry case's algorithms widened
+/// with same-radius variants — see
+/// [`crate::workload::Workload::Claim2Scan`]); `params.b` selects the
+/// case. A trial estimates the found instance's constructor failure rate;
+/// the value channel records the scan's pool coverage `found / K`.
+pub fn claim2_scan_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "claim2-scan".into(),
+        description: "Claim 2, batched: K deterministic probes scan the candidate pool in one \
+                      multi-algorithm pass per cached instance (3-coloring, amos, weak \
+                      2-coloring), then trials estimate constructor failure on the found hard \
+                      instance"
+            .into(),
+        families: vec![Family::Cycle, Family::Circulant2, Family::Prism],
+        sizes: vec![16],
+        id_schemes: vec![IdScheme::Consecutive],
+        params: [1u64, 4, 8, 16]
+            .iter()
+            .flat_map(|&k| (0..3u64).map(move |case| Params::two(k, case)))
+            .collect(),
+        base_trials: 200,
+        workload: Workload::Claim2Scan,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,9 +357,43 @@ mod tests {
     #[test]
     fn derand_scenarios_are_registered() {
         let registry = Registry::builtin();
-        for name in ["glued-decay", "ramsey-lift", "theorem1-pipeline", "language-matrix"] {
+        for name in [
+            "glued-decay",
+            "ramsey-lift",
+            "theorem1-pipeline",
+            "language-matrix",
+            "claim2-scan",
+        ] {
             assert!(registry.get(name).is_some(), "{name} missing from the registry");
         }
+    }
+
+    #[test]
+    fn claim2_scan_exposes_a_real_k_axis() {
+        let spec = claim2_scan_spec();
+        assert!(spec.validate().is_ok());
+        let ks: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.a).collect();
+        assert!(ks.len() >= 3, "the K axis must be a real grid");
+        assert!(ks.contains(&8), "the ≥3×-at-K≥8 regime must be on the axis");
+        let cases: std::collections::HashSet<u64> = spec.params.iter().map(|p| p.b).collect();
+        assert_eq!(cases.len(), 3, "the three legacy cases ride the case axis");
+    }
+
+    #[test]
+    fn claim2_scan_smoke_grid_point_runs_and_covers_the_pool() {
+        let spec = claim2_scan_spec();
+        let grid = spec.grid(rlnc_par::Scale::Smoke);
+        let point = grid
+            .iter()
+            .find(|p| p.params.a == 8 && p.params.b == 0)
+            .expect("a K = 8 coloring grid point");
+        let point_seed = rlnc_par::SeedSequence::new(17).child(point.index);
+        let prepared = spec.workload.prepare(point, point_seed);
+        let outcome = prepared.run_trial(point_seed.child(1).child(0));
+        assert!((0.0..=1.0).contains(&outcome.value));
+        // The widened probe family finds hard instances: the coverage
+        // channel must report a non-empty pool.
+        assert!(outcome.value > 0.0, "the scan found no hard instance");
     }
 
     #[test]

@@ -143,6 +143,18 @@ pub enum Workload {
     /// the trial value is the schedule's realized faulty-node fraction.
     /// Requires a connected regular family.
     FaultMatrix,
+    /// The **batched Claim-2 scan**: the K-axis of the multi-algorithm
+    /// hard-instance search. `params.a` is the width `K` of the
+    /// deterministic probe family (the registry case's algorithms,
+    /// widened with same-radius synthesized variants); `params.b`
+    /// selects the case via [`CaseId::from_index`]. Preparation runs the
+    /// batched [`DerandPipeline::hard_instance_stage_cached`] scan —
+    /// one `run_many` pass settles a whole same-radius algorithm slice
+    /// per cached candidate — and a trial then estimates the found hard
+    /// instance's constructor failure rate (the trial's success); the
+    /// value channel records the scan's pool coverage `found / K`.
+    /// Requires a connected regular family.
+    Claim2Scan,
 }
 
 /// Decodes the fault-matrix `params.a` axis: the thousands digit group
@@ -164,6 +176,7 @@ impl Workload {
             Workload::Theorem1Pipeline => "theorem1-pipeline",
             Workload::LanguagePipeline => "language-pipeline",
             Workload::FaultMatrix => "fault-matrix",
+            Workload::Claim2Scan => "claim2-scan",
         }
     }
 
@@ -184,7 +197,10 @@ impl Workload {
                     ))
                 }
             }
-            Workload::Theorem1Pipeline | Workload::LanguagePipeline | Workload::FaultMatrix => {
+            Workload::Theorem1Pipeline
+            | Workload::LanguagePipeline
+            | Workload::FaultMatrix
+            | Workload::Claim2Scan => {
                 if matches!(
                     family,
                     Family::Cycle | Family::Circulant2 | Family::Prism | Family::Torus
@@ -216,9 +232,10 @@ impl Workload {
             | Workload::GluedDecay { cycle_size, .. } => *cycle_size,
             // The pipeline's hard-instance candidates need room for anchors
             // pairwise 2(t + t') apart and a usable Ramsey probe.
-            Workload::Theorem1Pipeline | Workload::LanguagePipeline | Workload::FaultMatrix => {
-                n.max(12)
-            }
+            Workload::Theorem1Pipeline
+            | Workload::LanguagePipeline
+            | Workload::FaultMatrix
+            | Workload::Claim2Scan => n.max(12),
             Workload::RamseyLift { .. } => n.max(8),
             Workload::SlackColoring { .. } => n,
         }
@@ -245,7 +262,8 @@ impl Workload {
             | Workload::RamseyLift { .. }
             | Workload::Theorem1Pipeline
             | Workload::LanguagePipeline
-            | Workload::FaultMatrix => 0,
+            | Workload::FaultMatrix
+            | Workload::Claim2Scan => 0,
         }
     }
 
@@ -440,8 +458,82 @@ impl Workload {
                     decision_plan,
                 }
             }
+            Workload::Claim2Scan => {
+                let mut case = CaseId::from_index(point.params.b).case();
+                let k = point.params.a.max(1) as usize;
+                // Same candidate convention as the pipeline workloads:
+                // three increasing members of the case's candidate family,
+                // consecutive identities, case-convention inputs.
+                let family = case.candidate_family(point.family);
+                let candidates: Vec<HardInstance> = [point.n, point.n + 2, point.n + 4]
+                    .iter()
+                    .map(|&size| {
+                        let graph = family.generate(size, &mut prep_rng);
+                        let ids = IdAssignment::consecutive(&graph);
+                        let input = case.build_input(&graph, &ids);
+                        HardInstance::new(graph, input, ids)
+                    })
+                    .collect();
+                let algos = scan_family(std::mem::take(&mut case.det_family), k);
+                // The batched scan itself: one `run_many` pass per cached
+                // candidate settles verdicts for the whole same-radius
+                // algorithm slice, so widening K widens the batch instead
+                // of multiplying view walks.
+                let (found, target) = {
+                    let refs: Vec<&dyn LocalAlgorithm> =
+                        algos.iter().map(|b| &**b).collect();
+                    let pipeline = DerandPipeline::new(
+                        &*case.constructor,
+                        &*case.decider,
+                        &*case.language,
+                        case.params.into(),
+                    );
+                    let mut cache = PlanCache::new();
+                    let mut hard =
+                        pipeline.hard_instance_stage_cached(&refs, &candidates, 0, 1, &mut cache);
+                    let found = hard.pool.len();
+                    let target = if hard.pool.is_empty() {
+                        candidates[0].clone()
+                    } else {
+                        hard.pool.remove(0)
+                    };
+                    (found, target)
+                };
+                let plan = {
+                    let instance = target.as_instance();
+                    rlnc_engine::shared_plan_for_instance(&instance, case.constructor_radius())
+                };
+                Prepared::Claim2Scan {
+                    constructor: case.constructor,
+                    language: case.language,
+                    target,
+                    plan,
+                    found,
+                    k,
+                }
+            }
         }
     }
+}
+
+/// Widens a case's deterministic family to `k` probe algorithms for the
+/// `claim2-scan` workload: the registry algorithms first, then synthesized
+/// identity-keyed variants at the family's radius, so the batched
+/// hard-instance scan has a real same-radius slice to amortize each
+/// cached-view walk over.
+fn scan_family(
+    mut algos: Vec<Box<dyn LocalAlgorithm>>,
+    k: usize,
+) -> Vec<Box<dyn LocalAlgorithm>> {
+    let radius = algos.first().map_or(1, |a| a.radius());
+    for i in algos.len()..k {
+        let i = i as u64;
+        algos.push(Box::new(FnAlgorithm::new(radius, "scan-probe", move |v: &View| {
+            Label::from_u64((v.center_id() + i) % (2 + i % 3))
+        })));
+    }
+    algos.truncate(k.max(1));
+    algos
 }
 
 /// Shared body of the two pipeline workloads: stages the full four-stage
@@ -636,6 +728,25 @@ pub enum Prepared {
         /// Cached decision views (checking radius) whose outputs a
         /// [`DecisionScratch`] refreshes per trial.
         decision_plan: ExecutionPlan,
+    },
+    /// Batched Claim-2 scan: the hard-instance pool is found at prepare
+    /// time by one batched multi-algorithm pass per cached candidate; a
+    /// trial runs the case's randomized constructor on the first found
+    /// instance and checks whether the output leaves the language.
+    Claim2Scan {
+        /// The case's randomized constructor.
+        constructor: Box<dyn RandomizedLocalAlgorithm>,
+        /// The case's language (the trial's failure check).
+        language: Box<dyn DistributedLanguage>,
+        /// The first hard instance the scan found (or the smallest
+        /// candidate when the probe family never fails).
+        target: HardInstance,
+        /// Cached construction views over `target`.
+        plan: ExecutionPlan,
+        /// Pool size the scan produced.
+        found: usize,
+        /// Width of the probe family (the K axis).
+        k: usize,
     },
 }
 
@@ -879,6 +990,22 @@ impl Prepared {
                 TrialOutcome {
                     success: accept,
                     value: schedule.faulty_fraction(),
+                }
+            }
+            Prepared::Claim2Scan {
+                constructor,
+                language,
+                target,
+                plan,
+                found,
+                k,
+            } => {
+                let out = plan.run_randomized(&**constructor, seed.child(0));
+                let inst = target.as_instance();
+                let io = IoConfig::from_instance(&inst, &out);
+                TrialOutcome {
+                    success: !language.contains(&io),
+                    value: *found as f64 / (*k).max(1) as f64,
                 }
             }
         }

@@ -46,8 +46,9 @@ fn deterministic_json(
 #[test]
 fn deterministic_section_is_schedule_independent() {
     // fault-matrix exercises rounds + faults + engine; language-matrix
-    // exercises the registry-driven plan-cache path.
-    for scenario in ["fault-matrix", "language-matrix"] {
+    // exercises the registry-driven plan-cache path; claim2-scan
+    // exercises the batched multi-algorithm kernel and the arena lanes.
+    for scenario in ["fault-matrix", "language-matrix", "claim2-scan"] {
         let parallel = deterministic_json(scenario, |e| e);
         let sequential = deterministic_json(scenario, |e| e.sequential());
         let odd_batch = deterministic_json(scenario, |e| e.with_batch(7));
@@ -80,7 +81,7 @@ fn child_emit_export_and_trace() {
     let emit_once = || {
         let registry = Registry::builtin();
         let mut combined = String::new();
-        for scenario in ["fault-matrix", "language-matrix"] {
+        for scenario in ["fault-matrix", "language-matrix", "claim2-scan"] {
             let spec = registry.get(scenario).expect("scenario exists");
             let executor = SweepExecutor::new(rlnc_par::Scale::Smoke).with_seed(5);
             rlnc_obs::reset();
